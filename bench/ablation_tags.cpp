@@ -1,0 +1,97 @@
+// Ablation: CMF tag encoding (Section VI-A) and the PK-selection
+// heuristic — design choices the paper calls out, measured.
+//
+//  1. Tag encoding: the paper stores the IDs of jobs that should NOT see
+//     a pair ("exclude list"), betting on highly-overlapped map outputs.
+//     We run the merged Q21 sub-tree job both ways and report shuffle
+//     bytes and simulated time.
+//  2. PK heuristic: Q-CSA's aggregations have multiple candidate PKs;
+//     choosing uid keeps the five-op chain in one job. We compare against
+//     the non-heuristic full-grouping-key choice (jobs fall apart).
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace ysmart;
+  using namespace ysmart::bench;
+
+  print_header("Ablation 1 - CMF tag encoding on the merged Q21 sub-tree job");
+  {
+    auto tpch = TpchDataset::generate();
+    std::printf("%-14s %14s %14s %10s\n", "encoding", "shuffle MB",
+                "map out MB", "time");
+    for (auto enc : {TagEncoding::ExcludeList, TagEncoding::IncludeList}) {
+      Database db(ClusterConfig::small_local(scale_for(tpch.bytes, 10)));
+      tpch.load_into(db);
+      auto profile = TranslatorProfile::ysmart();
+      profile.tag_encoding = enc;
+      auto run = db.run(queries::q21_subtree().sql, profile);
+      const double scale = db.cluster().sim_scale;
+      std::printf("%-14s %14.1f %14.1f %10s\n",
+                  enc == TagEncoding::ExcludeList ? "exclude-list"
+                                                  : "include-list",
+                  run.metrics.total_shuffle_bytes() * scale / 1048576.0,
+                  run.metrics.jobs[0].map.output_bytes * scale / 1048576.0,
+                  fmt_time(run.metrics.total_time_s()).c_str());
+    }
+    std::printf("(exclude-list wins when map outputs overlap heavily, as "
+                "Section VI-A argues)\n");
+  }
+
+  print_header("Ablation 2 - aggregation PK selection heuristic on Q-CSA");
+  {
+    auto clicks = ClicksDataset::generate();
+    Database db(ClusterConfig::small_local(scale_for(clicks.bytes, 20)));
+    clicks.load_into(db);
+
+    auto with_heuristic = db.run(queries::qcsa().sql, TranslatorProfile::ysmart());
+    std::printf("with heuristic (uid chosen):      %d jobs  %s\n",
+                with_heuristic.metrics.job_count(),
+                fmt_time(with_heuristic.metrics.total_time_s()).c_str());
+
+    // Disabling JFC approximates "PK chosen without regard to the parent
+    // chain": the aggregations stop collapsing into their child jobs.
+    auto no_jfc = TranslatorProfile::ysmart();
+    no_jfc.name = "ysmart-nojfc";
+    no_jfc.use_job_flow_correlation = false;
+    auto without = db.run(queries::qcsa().sql, no_jfc);
+    std::printf("without job-flow merging:         %d jobs  %s\n",
+                without.metrics.job_count(),
+                fmt_time(without.metrics.total_time_s()).c_str());
+  }
+
+  print_header(
+      "Ablation 3 - cost-based PK selection (the paper's future-work item) "
+      "on a skewed click stream");
+  {
+    // Only 4 distinct users: merging the whole Q-CSA chain into one
+    // uid-partitioned job serializes its reduce phase on 4 keys.
+    ClicksConfig skewed;
+    skewed.users = 4;
+    skewed.mean_clicks_per_user = 12000;
+    auto data = generate_clicks(skewed);
+    Database db(ClusterConfig::small_local(
+        scale_for(data->byte_size(), /*modeled_gb=*/20)));
+    db.create_table("clicks", data);
+
+    auto heuristic = TranslatorProfile::ysmart();
+    auto cost_based = TranslatorProfile::ysmart();
+    cost_based.name = "ysmart+stats";
+    cost_based.cost_based_pk = true;
+    for (const auto& profile : {heuristic, cost_based}) {
+      auto run = db.run(queries::qcsa().sql, profile);
+      std::printf("%-14s %d jobs  %s\n", profile.name.c_str(),
+                  run.metrics.job_count(),
+                  fmt_time(run.metrics.total_time_s()).c_str());
+    }
+    std::printf(
+        "(the cost-based veto rejects the 4-distinct-value uid key and falls\n"
+        " back to more, better-parallelized jobs — and LOSES: the merged job\n"
+        " never materializes the per-user quadratic self-join intermediate,\n"
+        " which dwarfs the serialization it suffers. A parallelism-only veto\n"
+        " is not a cost model; the paper's simple connectivity heuristic is\n"
+        " more robust than it looks.)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Google-benchmark microbenchmarks of the translator pipeline itself:
+// lexing/parsing, planning, correlation analysis, and full translation
+// for each paper query. These measure the *translator's* cost (real
+// wall-clock), not simulated cluster time — YSmart must stay cheap at
+// query-compile time to be a practical Hive front-end.
+#include <benchmark/benchmark.h>
+
+#include "api/database.h"
+#include "data/clicks_gen.h"
+#include "data/queries.h"
+#include "data/tpch_gen.h"
+#include "plan/builder.h"
+#include "plan/prune.h"
+#include "sql/parser.h"
+#include "translator/correlation.h"
+#include "translator/ysmart_translator.h"
+
+namespace {
+
+using namespace ysmart;
+
+Catalog make_catalog() {
+  Catalog c;
+  c.register_table("lineitem", tpch_lineitem_schema());
+  c.register_table("orders", tpch_orders_schema());
+  c.register_table("part", tpch_part_schema());
+  c.register_table("customer", tpch_customer_schema());
+  c.register_table("supplier", tpch_supplier_schema());
+  c.register_table("nation", tpch_nation_schema());
+  Schema cl;
+  cl.add("uid", ValueType::Int);
+  cl.add("page_id", ValueType::Int);
+  cl.add("cid", ValueType::Int);
+  cl.add("ts", ValueType::Int);
+  c.register_table("clicks", cl);
+  return c;
+}
+
+const queries::PaperQuery& query_for(int idx) {
+  return *queries::all()[static_cast<std::size_t>(idx)];
+}
+
+void BM_Parse(benchmark::State& state) {
+  const auto& q = query_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(parse_select(q.sql));
+  state.SetLabel(q.id);
+}
+BENCHMARK(BM_Parse)->DenseRange(0, 4);
+
+void BM_Plan(benchmark::State& state) {
+  const auto& q = query_for(static_cast<int>(state.range(0)));
+  Catalog c = make_catalog();
+  for (auto _ : state) benchmark::DoNotOptimize(plan_query(q.sql, c));
+  state.SetLabel(q.id);
+}
+BENCHMARK(BM_Plan)->DenseRange(0, 4);
+
+void BM_CorrelationAnalysis(benchmark::State& state) {
+  const auto& q = query_for(static_cast<int>(state.range(0)));
+  Catalog c = make_catalog();
+  auto plan = plan_query(q.sql, c);
+  prune_plan(plan);
+  for (auto _ : state) {
+    CorrelationAnalysis ca(plan);
+    benchmark::DoNotOptimize(ca.ops().size());
+  }
+  state.SetLabel(q.id);
+}
+BENCHMARK(BM_CorrelationAnalysis)->DenseRange(0, 4);
+
+void BM_TranslateYsmart(benchmark::State& state) {
+  const auto& q = query_for(static_cast<int>(state.range(0)));
+  Catalog c = make_catalog();
+  for (auto _ : state) {
+    auto plan = plan_query(q.sql, c);
+    benchmark::DoNotOptimize(
+        translate_ysmart(plan, TranslatorProfile::ysmart(), "/s"));
+  }
+  state.SetLabel(q.id);
+}
+BENCHMARK(BM_TranslateYsmart)->DenseRange(0, 4);
+
+void BM_TranslateBaseline(benchmark::State& state) {
+  const auto& q = query_for(static_cast<int>(state.range(0)));
+  Catalog c = make_catalog();
+  for (auto _ : state) {
+    auto plan = plan_query(q.sql, c);
+    benchmark::DoNotOptimize(
+        translate(plan, TranslatorProfile::hive(), "/s"));
+  }
+  state.SetLabel(q.id);
+}
+BENCHMARK(BM_TranslateBaseline)->DenseRange(0, 4);
+
+// ---- runtime microbenchmarks: the simulator's own wall-clock cost ----
+
+void BM_EngineQagg(benchmark::State& state) {
+  Database db(ClusterConfig::small_local(1.0));
+  ClicksConfig cc;
+  cc.users = static_cast<std::int64_t>(state.range(0));
+  db.create_table("clicks", generate_clicks(cc));
+  const std::string sql = queries::qagg().sql;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    auto run = db.run(sql, TranslatorProfile::ysmart());
+    records += run.metrics.jobs[0].map.input_records;
+    benchmark::DoNotOptimize(run.result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_EngineQagg)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_EngineQcsaMergedJob(benchmark::State& state) {
+  Database db(ClusterConfig::small_local(1.0));
+  ClicksConfig cc;
+  cc.users = static_cast<std::int64_t>(state.range(0));
+  db.create_table("clicks", generate_clicks(cc));
+  const std::string sql = queries::qcsa().sql;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    auto run = db.run(sql, TranslatorProfile::ysmart());
+    records += run.metrics.jobs[0].map.input_records;
+    benchmark::DoNotOptimize(run.result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_EngineQcsaMergedJob)->Arg(100)->Arg(400);
+
+void BM_ReferenceExecutorQcsa(benchmark::State& state) {
+  Database db(ClusterConfig::small_local(1.0));
+  ClicksConfig cc;
+  cc.users = static_cast<std::int64_t>(state.range(0));
+  db.create_table("clicks", generate_clicks(cc));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(db.run_reference(queries::qcsa().sql));
+}
+BENCHMARK(BM_ReferenceExecutorQcsa)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Fig. 9: breakdown of job finishing times for the Q21 "Left Outer
+// Join1" sub-tree on the 2-node local cluster with 10 GB TPC-H data.
+//
+// Four configurations, as in the paper (Section VII-C):
+//   1. one-operation-to-one-job (5 jobs)            paper: 1140 s
+//   2. input + transit correlation only (3 jobs)    paper:  773 s
+//   3. all correlations - YSmart (1 job)            paper:  561 s
+//   4. hand-coded program (1 specialized job)       paper:  479 s
+// Per-job map/reduce phase times are printed like the figure's bars.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  using namespace ysmart;
+  using namespace ysmart::bench;
+
+  print_header(
+      "Fig. 9 - Q21 sub-tree job finishing times (10 GB TPC-H, 2-node "
+      "local cluster)");
+
+  auto tpch = TpchDataset::generate();
+  Database db(ClusterConfig::small_local(scale_for(tpch.bytes, 10)));
+  tpch.load_into(db);
+  const std::string sql = queries::q21_subtree().sql;
+
+  struct Config {
+    const char* label;
+    double paper_seconds;
+    TranslatorProfile profile;
+  };
+  auto rule1_only = TranslatorProfile::ysmart();
+  rule1_only.name = "ic+tc-only";
+  rule1_only.use_job_flow_correlation = false;
+
+  const Config configs[] = {
+      {"1. one-op-to-one-job", 1140, TranslatorProfile::hive()},
+      {"2. IC+TC only", 773, rule1_only},
+      {"3. all correlations (YSmart)", 561, TranslatorProfile::ysmart()},
+      {"4. hand-coded", 479, TranslatorProfile::hand_coded()},
+  };
+
+  double baseline_time = 0;
+  for (const auto& cfg : configs) {
+    auto run = db.run(sql, cfg.profile);
+    if (baseline_time == 0) baseline_time = run.metrics.total_time_s();
+    std::printf("\n%s  [%d job(s)]\n", cfg.label, run.metrics.job_count());
+    for (const auto& j : run.metrics.jobs)
+      std::printf("    %-30s map %7.1fs   reduce %7.1fs\n", j.job_name.c_str(),
+                  j.map_time_s, j.reduce_time_s);
+    std::printf("    total %7.1fs   (paper: %.0fs)   speedup over config 1: "
+                "%.0f%% (paper: %.0f%%)\n",
+                run.metrics.total_time_s(), cfg.paper_seconds,
+                100.0 * baseline_time / run.metrics.total_time_s(),
+                100.0 * 1140 / cfg.paper_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Explain tool: prints the plan tree, the detected intra-query
+// correlations (partition keys, IC/TC/JFC pairs), and the generated job
+// structures for every paper query, side by side for YSmart and the
+// one-operation-per-job baseline. Reproduces the paper's Fig. 5 / Fig. 6
+// narrative in text form.
+//
+// Usage: explain_plans [query-id]  (default: all of Q17 Q18 Q21 Q-CSA Q-AGG)
+#include <iostream>
+#include <string>
+
+#include "api/database.h"
+#include "data/clicks_gen.h"
+#include "data/queries.h"
+#include "data/tpch_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace ysmart;
+
+  Database db(ClusterConfig::small_local(1.0));
+  TpchConfig tiny;
+  tiny.orders = 50;
+  tiny.parts = 20;
+  tiny.customers = 10;
+  tiny.suppliers = 5;
+  auto d = generate_tpch(tiny);
+  db.create_table("lineitem", d.lineitem);
+  db.create_table("orders", d.orders);
+  db.create_table("part", d.part);
+  db.create_table("customer", d.customer);
+  db.create_table("supplier", d.supplier);
+  db.create_table("nation", d.nation);
+  ClicksConfig cc;
+  cc.users = 20;
+  db.create_table("clicks", generate_clicks(cc));
+
+  const std::string wanted = argc > 1 ? argv[1] : "";
+  for (const auto* q : queries::all()) {
+    if (!wanted.empty() && q->id != wanted) continue;
+    std::cout << "################ " << q->id << " ################\n";
+    std::cout << db.explain(q->sql, TranslatorProfile::ysmart());
+    std::cout << "== jobs (one-operation-per-job baseline) ==\n";
+    auto baseline = db.translate_query(q->sql, TranslatorProfile::hive());
+    std::cout << baseline.describe() << "\n";
+  }
+  return 0;
+}

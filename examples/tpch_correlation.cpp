@@ -1,0 +1,56 @@
+// TPC-H decision-support workload: runs the paper's three flattened
+// TPC-H queries (Q17/Q18/Q21) through every translator profile and
+// prints job counts, shared-scan savings, and simulated times — the
+// Section VII-D comparison in miniature, including the "ideal parallel
+// DBMS" (PostgreSQL stand-in).
+#include <iostream>
+
+#include "api/database.h"
+#include "common/strings.h"
+#include "data/queries.h"
+#include "data/tpch_gen.h"
+
+int main() {
+  using namespace ysmart;
+
+  Database db(ClusterConfig::small_local(/*sim_scale=*/300));
+  TpchConfig cfg;
+  cfg.orders = 8000;
+  auto data = generate_tpch(cfg);
+  db.create_table("lineitem", data.lineitem);
+  db.create_table("orders", data.orders);
+  db.create_table("part", data.part);
+  db.create_table("customer", data.customer);
+  db.create_table("supplier", data.supplier);
+  db.create_table("nation", data.nation);
+
+  std::cout << strf("lineitem: %zu rows (%0.1f MB in-memory)\n\n",
+                    data.lineitem->row_count(),
+                    data.lineitem->byte_size() / 1048576.0);
+
+  for (const auto* q : {&queries::q17(), &queries::q18(), &queries::q21()}) {
+    std::cout << "==== " << q->id << " ====\n";
+    std::cout << strf("%-10s %5s %12s %14s %14s\n", "system", "jobs",
+                      "time (s)", "map input MB", "shuffle MB");
+    double hive_time = 0;
+    for (const auto& profile :
+         {TranslatorProfile::ysmart(), TranslatorProfile::hive(),
+          TranslatorProfile::pig()}) {
+      auto run = db.run(q->sql, profile);
+      if (profile.name == "hive") hive_time = run.metrics.total_time_s();
+      std::cout << strf(
+          "%-10s %5d %12.1f %14.1f %14.1f\n", profile.name.c_str(),
+          run.metrics.job_count(), run.metrics.total_time_s(),
+          run.metrics.total_map_input_bytes() * db.cluster().sim_scale / 1048576.0,
+          run.metrics.total_shuffle_bytes() * db.cluster().sim_scale / 1048576.0);
+    }
+    DbmsCostConfig dbms;
+    dbms.sim_scale = db.cluster().sim_scale;
+    auto pg = db.run_dbms(q->sql, dbms);
+    std::cout << strf("%-10s %5s %12.1f\n", "pgsql*4", "-", pg.sim_seconds);
+    auto ys = db.run(q->sql, TranslatorProfile::ysmart());
+    std::cout << strf("ysmart speedup over hive: %.0f%%\n\n",
+                      100.0 * hive_time / ys.metrics.total_time_s());
+  }
+  return 0;
+}

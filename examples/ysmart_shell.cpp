@@ -1,0 +1,164 @@
+// Interactive shell: type SQL against the generated TPC-H + clicks data
+// and watch YSmart translate and execute it on the simulated cluster.
+//
+//   $ ./build/examples/ysmart_shell
+//   ysmart> SELECT cid, count(*) AS n FROM clicks GROUP BY cid HAVING n > 100;
+//   ysmart> \explain SELECT ... ;
+//   ysmart> \dot SELECT ... ;          (Graphviz job DAG on stdout)
+//   ysmart> \profile hive
+//   ysmart> \load mytable /path/data.csv   (schema inferred)
+//   ysmart> \save /path/out.csv SELECT ... ;
+//   ysmart> \tables
+//   ysmart> \quit
+//
+// Also reads one-shot queries from the command line:
+//   $ ./build/examples/ysmart_shell "SELECT count(*) AS n FROM lineitem"
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "api/database.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "data/clicks_gen.h"
+#include "data/tpch_gen.h"
+#include "storage/csv.h"
+
+namespace {
+
+using namespace ysmart;
+
+TranslatorProfile profile_by_name(const std::string& name) {
+  if (name == "hive") return TranslatorProfile::hive();
+  if (name == "pig") return TranslatorProfile::pig();
+  if (name == "mrshare") return TranslatorProfile::mrshare();
+  if (name == "hand" || name == "hand-coded")
+    return TranslatorProfile::hand_coded();
+  return TranslatorProfile::ysmart();
+}
+
+void run_sql(Database& db, const TranslatorProfile& profile,
+             const std::string& sql, bool explain_only) {
+  try {
+    if (explain_only) {
+      std::cout << db.explain(sql, profile);
+      return;
+    }
+    auto run = db.run(sql, profile);
+    std::cout << run.result->to_string(25);
+    std::cout << strf("(%zu rows; %d job(s); %.1f simulated seconds; "
+                      "profile %s)\n",
+                      run.result->row_count(), run.metrics.job_count(),
+                      run.metrics.total_time_s(), profile.name.c_str());
+  } catch (const Error& e) {
+    std::cout << e.what() << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Database db(ClusterConfig::small_local(/*sim_scale=*/200));
+
+  TpchConfig tc;
+  tc.orders = 4000;
+  auto tpch = generate_tpch(tc);
+  db.create_table("lineitem", tpch.lineitem);
+  db.create_table("orders", tpch.orders);
+  db.create_table("part", tpch.part);
+  db.create_table("customer", tpch.customer);
+  db.create_table("supplier", tpch.supplier);
+  db.create_table("nation", tpch.nation);
+  ClicksConfig cc;
+  cc.users = 800;
+  db.create_table("clicks", generate_clicks(cc));
+
+  TranslatorProfile profile = TranslatorProfile::ysmart();
+
+  if (argc > 1) {
+    run_sql(db, profile, argv[1], /*explain_only=*/false);
+    return 0;
+  }
+
+  std::cout << "ysmart interactive shell - tables: ";
+  for (const auto& t : db.catalog().table_names()) std::cout << t << " ";
+  std::cout << "\ncommands: \\explain <sql>  \\profile "
+               "<ysmart|hive|pig|mrshare|hand>  \\tables  \\quit\n";
+
+  std::string line;
+  while (std::cout << "ysmart> " << std::flush, std::getline(std::cin, line)) {
+    // Trim.
+    const auto a = line.find_first_not_of(" \t");
+    if (a == std::string::npos) continue;
+    const auto b = line.find_last_not_of(" \t;");
+    line = line.substr(a, b - a + 1);
+    if (line.empty()) continue;
+
+    if (line[0] == '\\') {
+      std::istringstream iss(line.substr(1));
+      std::string cmd;
+      iss >> cmd;
+      if (cmd == "quit" || cmd == "q") break;
+      if (cmd == "tables") {
+        for (const auto& t : db.catalog().table_names())
+          std::cout << "  " << t << "  "
+                    << db.catalog().schema_of(t).to_string() << "\n";
+        continue;
+      }
+      if (cmd == "profile") {
+        std::string name;
+        iss >> name;
+        profile = profile_by_name(name);
+        std::cout << "profile: " << profile.name << "\n";
+        continue;
+      }
+      if (cmd == "explain") {
+        std::string rest;
+        std::getline(iss, rest);
+        run_sql(db, profile, rest, /*explain_only=*/true);
+        continue;
+      }
+      if (cmd == "dot") {
+        std::string rest;
+        std::getline(iss, rest);
+        try {
+          std::cout << db.translate_query(rest, profile).to_dot();
+        } catch (const Error& e) {
+          std::cout << e.what() << "\n";
+        }
+        continue;
+      }
+      if (cmd == "load") {
+        std::string name, path;
+        iss >> name >> path;
+        try {
+          auto t = read_csv_file_infer(path);
+          db.create_table(name, t);
+          std::cout << "loaded " << t->row_count() << " rows into " << name
+                    << " " << t->schema().to_string() << "\n";
+        } catch (const Error& e) {
+          std::cout << e.what() << "\n";
+        }
+        continue;
+      }
+      if (cmd == "save") {
+        std::string path, rest;
+        iss >> path;
+        std::getline(iss, rest);
+        try {
+          auto run = db.run(rest, profile);
+          write_csv_file(*run.result, path);
+          std::cout << "wrote " << run.result->row_count() << " rows to "
+                    << path << "\n";
+        } catch (const Error& e) {
+          std::cout << e.what() << "\n";
+        }
+        continue;
+      }
+      std::cout << "unknown command: " << cmd << "\n";
+      continue;
+    }
+    run_sql(db, profile, line, /*explain_only=*/false);
+  }
+  return 0;
+}

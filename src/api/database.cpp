@@ -1,0 +1,84 @@
+#include "api/database.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "plan/builder.h"
+#include "plan/printer.h"
+#include "plan/prune.h"
+#include "sql/parser.h"
+#include "translator/correlation.h"
+#include "translator/lowering.h"
+#include "translator/ysmart_translator.h"
+
+namespace ysmart {
+
+Database::Database(ClusterConfig cfg)
+    : dfs_(cfg.worker_nodes, cfg.scaled_block_bytes(), cfg.replication),
+      engine_(std::make_unique<Engine>(dfs_, cfg)) {}
+
+void Database::create_table(const std::string& name,
+                            std::shared_ptr<const Table> data) {
+  check(data != nullptr, "create_table: null data");
+  catalog_.register_table(name, data->schema());
+  stats_.put(name, StatsCatalog::estimate(*data));
+  tables_[to_lower(name)] = data;
+  dfs_.write(LoweringContext::table_path(to_lower(name)), data);
+}
+
+PlanPtr Database::plan(const std::string& sql) const {
+  return plan_query(sql, catalog_);
+}
+
+TranslatedQuery Database::translate_query(const std::string& sql,
+                                          const TranslatorProfile& profile) {
+  PlanPtr p = plan(sql);
+  const std::string scratch =
+      "/scratch/" + profile.name + "/run" + std::to_string(run_counter_++);
+  return translate(p, profile, scratch, &stats_);
+}
+
+std::string Database::explain(const std::string& sql,
+                              const TranslatorProfile& profile) {
+  PlanPtr p = plan(sql);
+  std::string out = "== plan ==\n" + print_plan(p);
+  prune_plan(p);
+  CorrelationAnalysis ca(p);
+  out += "== correlations ==\n" + ca.report();
+  const std::string scratch =
+      "/scratch/" + profile.name + "/explain" + std::to_string(run_counter_++);
+  TranslatedQuery q = translate(p, profile, scratch, &stats_);
+  out += "== jobs (" + profile.name + ") ==\n" + q.describe();
+  return out;
+}
+
+QueryRunResult Database::run(const std::string& sql,
+                             const TranslatorProfile& profile) {
+  TranslatedQuery q = translate_query(sql, profile);
+  return run_translated(q, *engine_, profile);
+}
+
+TableSource Database::table_source() const {
+  return [this](const std::string& name) -> std::shared_ptr<const Table> {
+    auto it = tables_.find(to_lower(name));
+    return it == tables_.end() ? nullptr : it->second;
+  };
+}
+
+Table Database::run_reference(const std::string& sql) const {
+  return execute_plan_ref(plan(sql), table_source());
+}
+
+DbmsRunResult Database::run_dbms(const std::string& sql,
+                                 DbmsCostConfig cfg) const {
+  return execute_plan_dbms(plan(sql), table_source(), cfg);
+}
+
+void Database::reconfigure_cluster(ClusterConfig cfg) {
+  engine_.reset();
+  dfs_ = Dfs(cfg.worker_nodes, cfg.scaled_block_bytes(), cfg.replication);
+  engine_ = std::make_unique<Engine>(dfs_, std::move(cfg));
+  for (const auto& [name, data] : tables_)
+    dfs_.write(LoweringContext::table_path(name), data);
+}
+
+}  // namespace ysmart

@@ -1,0 +1,435 @@
+#include "cmf/common_job.h"
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "exec/aggregates.h"
+#include "exec/expr_eval.h"
+#include "exec/operators.h"
+
+namespace ysmart {
+
+namespace {
+
+// ---------- compiled (bind-once) job state shared by all tasks ----------
+
+struct CompiledConsumer {
+  int bit = 0;
+  BoundExpr filter;  // over the emission's input file schema; may be unbound
+  bool has_filter = false;
+};
+
+struct CompiledEmission {
+  int input_file = 0;
+  int source_tag = 0;
+  std::vector<BoundExpr> keys;
+  std::vector<BoundExpr> values;
+  std::vector<CompiledConsumer> consumers;
+};
+
+struct CompiledStage {
+  const PlanNode* op = nullptr;
+  std::vector<Stage::In> inputs;
+  int output_index = -1;
+
+  // Join
+  GroupJoinSpec join_spec;
+  BoundExpr join_residual;
+  std::vector<BoundExpr> join_projections;
+
+  // SP
+  BoundExpr sp_filter;
+  bool sp_has_filter = false;
+  std::vector<BoundExpr> sp_projections;
+};
+
+struct CompiledJob {
+  std::vector<CompiledEmission> emissions;   // grouped by input file below
+  std::vector<std::vector<int>> emissions_by_file;
+  std::vector<CompiledStage> stages;
+  std::map<int, int> consumer_bit_to_slot;   // bit -> dense slot index
+  int num_consumers = 0;
+
+  // CombineAgg state
+  const PlanNode* combine_agg = nullptr;
+  std::vector<std::size_t> combine_group_idx;  // unused (exprs used instead)
+  std::vector<BoundExpr> combine_group_exprs;
+  std::vector<BoundExpr> combine_arg_exprs;    // unbound slot for star
+  BoundExpr combine_filter;
+  bool combine_has_filter = false;
+  std::vector<BoundExpr> combine_projections;  // over internal schema
+  BoundExpr combine_having;                    // over output schema
+  bool combine_has_having = false;
+
+  bool map_only = false;
+};
+
+// ------------------------------ mappers ------------------------------
+
+class CommonMapper final : public Mapper {
+ public:
+  explicit CommonMapper(std::shared_ptr<const CompiledJob> cj) : cj_(std::move(cj)) {}
+
+  void map(const Row& record, int input_tag, MapEmitter& out) override {
+    for (int ei : cj_->emissions_by_file[static_cast<std::size_t>(input_tag)]) {
+      const CompiledEmission& e = cj_->emissions[static_cast<std::size_t>(ei)];
+      std::uint32_t exclude = 0;
+      bool any_visible = false;
+      for (const auto& c : e.consumers) {
+        const bool pass = !c.has_filter || is_true(c.filter.eval(record));
+        if (pass)
+          any_visible = true;
+        else
+          exclude |= (1u << c.bit);
+      }
+      if (!any_visible) continue;
+      Row key;
+      key.reserve(e.keys.size());
+      for (const auto& k : e.keys) key.push_back(k.eval(record));
+      Row value;
+      value.reserve(e.values.size());
+      for (const auto& v : e.values) value.push_back(v.eval(record));
+      out.emit(std::move(key), std::move(value),
+               static_cast<std::uint8_t>(e.source_tag), exclude);
+    }
+  }
+
+ private:
+  std::shared_ptr<const CompiledJob> cj_;
+};
+
+/// Map-only SELECTION-PROJECTION job: emits the projected row as the
+/// value; the engine writes values straight to the output file.
+class SpMapper final : public Mapper {
+ public:
+  explicit SpMapper(std::shared_ptr<const CompiledJob> cj) : cj_(std::move(cj)) {}
+
+  void map(const Row& record, int /*input_tag*/, MapEmitter& out) override {
+    const CompiledStage& st = cj_->stages.at(0);
+    if (st.sp_has_filter && !is_true(st.sp_filter.eval(record))) return;
+    Row value;
+    if (st.sp_projections.empty()) {
+      value = record;
+    } else {
+      value.reserve(st.sp_projections.size());
+      for (const auto& p : st.sp_projections) value.push_back(p.eval(record));
+    }
+    out.emit(Row{}, std::move(value));
+  }
+
+ private:
+  std::shared_ptr<const CompiledJob> cj_;
+};
+
+/// Hash-based map-side partial aggregation (CombineAgg jobs).
+class CombineAggMapper final : public Mapper {
+ public:
+  explicit CombineAggMapper(std::shared_ptr<const CompiledJob> cj)
+      : cj_(std::move(cj)) {}
+
+  void map(const Row& record, int /*input_tag*/, MapEmitter& /*out*/) override {
+    if (cj_->combine_has_filter && !is_true(cj_->combine_filter.eval(record)))
+      return;
+    Row key;
+    key.reserve(cj_->combine_group_exprs.size());
+    for (const auto& g : cj_->combine_group_exprs) key.push_back(g.eval(record));
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      std::vector<AggState> st;
+      for (const auto& a : cj_->combine_agg->aggs) st.emplace_back(a);
+      it = groups_.emplace(std::move(key), std::move(st)).first;
+    }
+    const auto& aggs = cj_->combine_agg->aggs;
+    for (std::size_t i = 0; i < aggs.size(); ++i) {
+      if (aggs[i].star)
+        it->second[i].add(Value{std::int64_t{1}});
+      else
+        it->second[i].add(cj_->combine_arg_exprs[i].eval(record));
+    }
+  }
+
+  void finish(MapEmitter& out) override {
+    for (const auto& [key, states] : groups_) {
+      Row partial;
+      for (const auto& s : states) s.to_partial(partial);
+      out.emit(key, std::move(partial));
+    }
+    groups_.clear();
+  }
+
+ private:
+  std::shared_ptr<const CompiledJob> cj_;
+  std::map<Row, std::vector<AggState>, RowLess> groups_;
+};
+
+// ------------------------------ reducers ------------------------------
+
+class CommonReducer final : public Reducer {
+ public:
+  explicit CommonReducer(std::shared_ptr<const CompiledJob> cj)
+      : cj_(std::move(cj)) {}
+
+  void reduce(const Row& /*key*/, std::span<const KeyValue> values,
+              ReduceEmitter& out) override {
+    // One pass over the value list, dispatching each value to the merged
+    // reducers that can see it (paper Algorithm 1).
+    std::vector<std::vector<Row>> consumer_rows(
+        static_cast<std::size_t>(cj_->num_consumers));
+    for (const auto& kv : values) {
+      const CompiledEmission& e =
+          cj_->emissions[static_cast<std::size_t>(kv.source)];
+      for (const auto& c : e.consumers) {
+        if (!kv.visible_to(c.bit)) continue;
+        consumer_rows[static_cast<std::size_t>(
+                          cj_->consumer_bit_to_slot.at(c.bit))]
+            .push_back(kv.value);
+      }
+    }
+    // Evaluate merged operations and post-job computations in order.
+    std::vector<std::vector<Row>> stage_rows(cj_->stages.size());
+    for (std::size_t s = 0; s < cj_->stages.size(); ++s) {
+      const CompiledStage& st = cj_->stages[s];
+      auto input_of = [&](const Stage::In& in) -> const std::vector<Row>& {
+        if (in.from_consumer)
+          return consumer_rows[static_cast<std::size_t>(
+              cj_->consumer_bit_to_slot.at(in.index))];
+        return stage_rows[static_cast<std::size_t>(in.index)];
+      };
+      switch (st.op->kind) {
+        case PlanKind::Join:
+          stage_rows[s] =
+              join_group(st.join_spec, input_of(st.inputs[0]), input_of(st.inputs[1]));
+          break;
+        case PlanKind::Agg:
+          stage_rows[s] = aggregate_rows(*st.op, input_of(st.inputs[0]));
+          break;
+        case PlanKind::SP:
+          stage_rows[s] = filter_project(
+              input_of(st.inputs[0]), st.sp_has_filter ? &st.sp_filter : nullptr,
+              st.sp_projections);
+          break;
+        case PlanKind::Sort: {
+          std::vector<Row> rows = input_of(st.inputs[0]);
+          stage_rows[s] = sort_rows(*st.op, std::move(rows));
+          break;
+        }
+        case PlanKind::Scan:
+          throw InternalError("scan cannot be a reduce stage");
+      }
+      if (st.output_index >= 0)
+        for (auto& r : stage_rows[s]) out.emit_to(st.output_index, std::move(r));
+    }
+  }
+
+ private:
+  std::shared_ptr<const CompiledJob> cj_;
+};
+
+class CombineAggReducer final : public Reducer {
+ public:
+  explicit CombineAggReducer(std::shared_ptr<const CompiledJob> cj)
+      : cj_(std::move(cj)) {}
+
+  void reduce(const Row& key, std::span<const KeyValue> values,
+              ReduceEmitter& out) override {
+    const auto& aggs = cj_->combine_agg->aggs;
+    std::vector<AggState> states;
+    for (const auto& a : aggs) states.emplace_back(a);
+    for (const auto& kv : values) {
+      std::size_t pos = 0;
+      for (auto& s : states) {
+        const std::size_t n = static_cast<std::size_t>(s.partial_arity());
+        s.add_partial(std::span<const Value>(kv.value.data() + pos, n));
+        pos += n;
+      }
+    }
+    Row internal = key;
+    for (const auto& s : states) internal.push_back(s.result());
+    Row o;
+    o.reserve(cj_->combine_projections.size());
+    for (const auto& p : cj_->combine_projections) o.push_back(p.eval(internal));
+    if (cj_->combine_has_having && !is_true(cj_->combine_having.eval(o)))
+      return;
+    out.emit_to(0, std::move(o));
+  }
+
+ private:
+  std::shared_ptr<const CompiledJob> cj_;
+};
+
+}  // namespace
+
+MRJobSpec build_common_job(const TranslatedJob& job,
+                           const TranslatorProfile& profile, const Dfs& dfs) {
+  auto cj = std::make_shared<CompiledJob>();
+  MRJobSpec spec;
+  spec.name = job.name;
+  spec.outputs = job.outputs;
+  spec.num_reduce_tasks = job.num_reduce_tasks;
+  spec.map_cpu_multiplier = profile.map_cpu_multiplier;
+  spec.reduce_cpu_multiplier = profile.reduce_cpu_multiplier;
+  spec.intermediate_expansion = profile.intermediate_expansion;
+  {
+    // "Hive cannot efficiently execute join with temporarily-generated
+    // inputs" (Section VII-F): joins fed only by intermediates pay the
+    // profile's penalty in the reduce phase.
+    const bool has_join = std::any_of(
+        job.stages.begin(), job.stages.end(),
+        [](const Stage& s) { return s.op->kind == PlanKind::Join; });
+    const bool all_temp_inputs =
+        !job.input_files.empty() &&
+        std::none_of(job.input_files.begin(), job.input_files.end(),
+                     [](const InputFile& f) {
+                       return starts_with(f.path, "/tables/");
+                     });
+    if (has_join && all_temp_inputs)
+      spec.reduce_cpu_multiplier *= profile.temp_input_join_penalty;
+  }
+  spec.tag_encoding = profile.tag_encoding;
+  spec.num_merged_jobs = std::max(1, job.total_consumers());
+
+  // Inputs and their runtime schemas.
+  std::vector<Schema> file_schemas;
+  for (std::size_t i = 0; i < job.input_files.size(); ++i) {
+    spec.inputs.push_back(JobInput{job.input_files[i].path, static_cast<int>(i)});
+    file_schemas.push_back(dfs.file(job.input_files[i].path).table->schema());
+  }
+
+  // ---- CombineAgg fast path ----
+  if (job.kind == TranslatedJob::Kind::CombineAgg) {
+    const PlanNode* agg = job.combine_agg_node;
+    check(agg != nullptr, "CombineAgg job without agg node");
+    cj->combine_agg = agg;
+    const Schema& fs = file_schemas.at(0);
+    const PlanNode* child = agg->children[0].get();
+    if (child->kind == PlanKind::Scan && child->filter) {
+      cj->combine_filter = BoundExpr(child->filter, fs);
+      cj->combine_has_filter = true;
+    }
+    for (const auto& g : agg->group_cols)
+      cj->combine_group_exprs.emplace_back(Expr::make_column(g), fs);
+    for (const auto& a : agg->aggs) {
+      if (a.star)
+        cj->combine_arg_exprs.emplace_back();
+      else
+        cj->combine_arg_exprs.emplace_back(a.arg, fs);
+    }
+    cj->combine_projections = bind_all(agg->projections, agg->agg_internal_schema());
+    if (agg->filter) {
+      cj->combine_having = BoundExpr(agg->filter, agg->output_schema);
+      cj->combine_has_having = true;
+    }
+    spec.make_mapper = [cj] { return std::make_unique<CombineAggMapper>(cj); };
+    spec.make_reducer = [cj] { return std::make_unique<CombineAggReducer>(cj); };
+    return spec;
+  }
+
+  // ---- compile emissions ----
+  cj->emissions_by_file.resize(job.input_files.size());
+  for (const auto& e : job.emissions) {
+    CompiledEmission ce;
+    ce.input_file = e.input_file;
+    ce.source_tag = e.source_tag;
+    const Schema& fs = file_schemas.at(static_cast<std::size_t>(e.input_file));
+    for (const auto& k : e.key_exprs) ce.keys.emplace_back(k, fs);
+    for (const auto& v : e.value_exprs) ce.values.emplace_back(v, fs);
+    for (const auto& c : e.consumers) {
+      CompiledConsumer cc;
+      cc.bit = c.consumer_id;
+      if (c.filter) {
+        cc.filter = BoundExpr(c.filter, fs);
+        cc.has_filter = true;
+      }
+      cj->consumer_bit_to_slot[c.consumer_id] = cj->num_consumers++;
+      ce.consumers.push_back(std::move(cc));
+    }
+    cj->emissions_by_file[static_cast<std::size_t>(e.input_file)].push_back(
+        static_cast<int>(cj->emissions.size()));
+    // Note: the reducer indexes emissions by source_tag; lowering assigns
+    // source tags equal to the emission's position in job.emissions.
+    check(ce.source_tag == static_cast<int>(cj->emissions.size()),
+          "emission source tags must be dense and ordered");
+    cj->emissions.push_back(std::move(ce));
+  }
+
+  // ---- compile stages ----
+  for (const auto& st : job.stages) {
+    CompiledStage cs;
+    cs.op = st.op;
+    cs.inputs = st.inputs;
+    cs.output_index = st.output_index;
+    switch (st.op->kind) {
+      case PlanKind::Join: {
+        const Schema& ls = st.op->children[0]->output_schema;
+        const Schema& rs = st.op->children[1]->output_schema;
+        const Schema combined = Schema::concat(ls, rs);
+        if (st.op->filter) {
+          cs.join_residual = BoundExpr(st.op->filter, combined);
+          cs.join_spec.residual = nullptr;  // fixed after move below
+        }
+        cs.join_projections = bind_all(st.op->projections, combined);
+        cs.join_spec.type = st.op->join_type;
+        cs.join_spec.left_width = ls.size();
+        cs.join_spec.right_width = rs.size();
+        for (std::size_t i = 0; i < st.op->left_keys.size(); ++i) {
+          cs.join_spec.left_key_idx.push_back(ls.index_of(st.op->left_keys[i]));
+          cs.join_spec.right_key_idx.push_back(rs.index_of(st.op->right_keys[i]));
+        }
+        break;
+      }
+      case PlanKind::SP: {
+        const Schema& child = st.op->children[0]->output_schema;
+        if (st.op->filter) {
+          cs.sp_filter = BoundExpr(st.op->filter, child);
+          cs.sp_has_filter = true;
+        }
+        cs.sp_projections = bind_all(st.op->projections, child);
+        break;
+      }
+      case PlanKind::Agg:
+      case PlanKind::Sort:
+        break;  // evaluated through the plan node directly
+      case PlanKind::Scan: {
+        // Scan stages occur only in map-only scan jobs: selection and
+        // projection bind against the base file's schema directly.
+        check(job.kind == TranslatedJob::Kind::MapOnly,
+              "scan stage outside a map-only job");
+        const Schema& fs = file_schemas.at(0);
+        if (st.op->filter) {
+          cs.sp_filter = BoundExpr(st.op->filter, fs);
+          cs.sp_has_filter = true;
+        }
+        cs.sp_projections = bind_all(st.op->projections, fs);
+        break;
+      }
+    }
+    cj->stages.push_back(std::move(cs));
+  }
+  // Fix join_spec residual/projection pointers now that stages won't move.
+  for (auto& cs : cj->stages) {
+    if (cs.op->kind == PlanKind::Join) {
+      if (cs.op->filter) cs.join_spec.residual = &cs.join_residual;
+      cs.join_spec.projections = &cs.join_projections;
+    }
+  }
+
+  if (job.kind == TranslatedJob::Kind::MapOnly) {
+    check(cj->stages.size() == 1 && (cj->stages[0].op->kind == PlanKind::SP ||
+                                     cj->stages[0].op->kind == PlanKind::Scan),
+          "map-only jobs must be a single SP or scan stage");
+    spec.make_mapper = [cj] { return std::make_unique<SpMapper>(cj); };
+    spec.make_reducer = nullptr;
+    return spec;
+  }
+
+  spec.make_mapper = [cj] { return std::make_unique<CommonMapper>(cj); };
+  spec.make_reducer = [cj] { return std::make_unique<CommonReducer>(cj); };
+  return spec;
+}
+
+}  // namespace ysmart

@@ -1,0 +1,31 @@
+// The Common MapReduce Framework (Section VI of the paper).
+//
+// Turns a TranslatedJob into a runnable MRJobSpec:
+//
+//  * The common mapper evaluates each emission per input record: consumer
+//    selection filters decide the pair's visibility tag (the exclude-list
+//    encoding of Section VI-A), and the pair carries the union of the
+//    consumers' projected columns, emitted once.
+//  * The common reducer dispatches each value of a key group to the
+//    merged reducers that can see it (one pass over the value list, as in
+//    Algorithm 1), runs every merged operation — joins, aggregations with
+//    sub-grouping when the partition key is a subset of the grouping key,
+//    post-job computations — and writes each top-level operation's result
+//    to its own tagged output.
+//  * CombineAgg jobs get the hash-based map-side partial aggregation
+//    fast path (Hive's optimization, footnote 2 of the paper).
+#pragma once
+
+#include "mr/job.h"
+#include "storage/dfs.h"
+#include "translator/jobspec.h"
+
+namespace ysmart {
+
+/// Compile `job` against the actual input file schemas found in `dfs`.
+/// All expressions are bound once here; the factories in the returned
+/// spec create cheap per-task instances sharing the compiled state.
+MRJobSpec build_common_job(const TranslatedJob& job,
+                           const TranslatorProfile& profile, const Dfs& dfs);
+
+}  // namespace ysmart

@@ -1,0 +1,17 @@
+#include "cmf/tags.h"
+
+namespace ysmart {
+
+const char* to_string(TagEncoding enc) {
+  return enc == TagEncoding::ExcludeList ? "exclude-list" : "include-list";
+}
+
+std::uint64_t tag_overhead_bytes(int num_merged_jobs, int excluded,
+                                 TagEncoding enc) {
+  if (num_merged_jobs <= 1) return 0;
+  const int named =
+      enc == TagEncoding::ExcludeList ? excluded : num_merged_jobs - excluded;
+  return 1 + static_cast<std::uint64_t>(named);
+}
+
+}  // namespace ysmart

@@ -1,0 +1,22 @@
+// Tag-encoding utilities (Section VI-A).
+//
+// CMF tags each common-mapper output pair with the merged jobs that must
+// NOT see it. This header provides the small helpers shared by the engine
+// accounting and the tag-encoding ablation benchmark.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mr/keyvalue.h"
+
+namespace ysmart {
+
+const char* to_string(TagEncoding enc);
+
+/// Bytes of tag overhead a single pair pays under `enc` given how many of
+/// the job's `num_merged_jobs` consumers are excluded from seeing it.
+std::uint64_t tag_overhead_bytes(int num_merged_jobs, int excluded,
+                                 TagEncoding enc);
+
+}  // namespace ysmart

@@ -1,0 +1,9 @@
+#include "common/error.h"
+
+namespace ysmart {
+
+void check(bool cond, const char* msg) {
+  if (!cond) throw InternalError(msg);
+}
+
+}  // namespace ysmart

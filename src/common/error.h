@@ -1,0 +1,47 @@
+// Error hierarchy for the ysmart library.
+//
+// All failures are reported through exceptions derived from ysmart::Error;
+// each subsystem throws its own subclass so callers (and tests) can
+// distinguish a SQL syntax error from a planner bug from a runtime fault.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ysmart {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Lexing/parsing failures (bad SQL text).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Semantic analysis failures (unknown column, ambiguous name, bad types).
+class PlanError : public Error {
+ public:
+  explicit PlanError(const std::string& what) : Error("plan error: " + what) {}
+};
+
+/// Runtime execution failures (type mismatch at eval time, missing table).
+class ExecError : public Error {
+ public:
+  explicit ExecError(const std::string& what) : Error("exec error: " + what) {}
+};
+
+/// Internal invariant violations; indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what)
+      : Error("internal error: " + what) {}
+};
+
+/// Throws InternalError if `cond` is false. Used to check invariants that
+/// should hold by construction.
+void check(bool cond, const char* msg);
+
+}  // namespace ysmart

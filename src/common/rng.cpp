@@ -1,0 +1,57 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ysmart {
+
+std::uint64_t Rng::next() {
+  // splitmix64: fast, high-quality, and identical everywhere.
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  check(lo <= hi, "Rng::uniform: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::exponential(double mean) {
+  check(mean > 0, "Rng::exponential: mean must be positive");
+  double u = uniform01();
+  if (u <= 0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+std::int64_t Rng::zipf(std::int64_t n, double s) {
+  check(n >= 1, "Rng::zipf: n must be >= 1");
+  if (s <= 0) return uniform(1, n);
+  // Inverse-CDF over the (truncated) harmonic series; fine for the modest
+  // n the generators use.
+  double h = 0;
+  for (std::int64_t i = 1; i <= n; ++i) h += 1.0 / std::pow(double(i), s);
+  double u = uniform01() * h;
+  double acc = 0;
+  for (std::int64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(double(i), s);
+    if (acc >= u) return i;
+  }
+  return n;
+}
+
+std::string Rng::ident(std::size_t len) {
+  std::string out(len, 'a');
+  for (auto& c : out) c = static_cast<char>('a' + next() % 26);
+  return out;
+}
+
+}  // namespace ysmart

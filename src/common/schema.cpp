@@ -1,0 +1,86 @@
+#include "common/schema.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ysmart {
+
+void Schema::add(std::string name, ValueType type) {
+  cols_.push_back(Column{std::move(name), type});
+}
+
+std::optional<std::size_t> Schema::find(const std::string& name) const {
+  const std::string lowered = to_lower(name);
+  // Pass 1: exact match on stored name.
+  std::optional<std::size_t> hit;
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == lowered) {
+      if (hit) throw PlanError("ambiguous column reference: " + name);
+      hit = i;
+    }
+  }
+  if (hit) return hit;
+  // Pass 2: unqualified name matches "alias.name".
+  if (lowered.find('.') == std::string::npos) {
+    for (std::size_t i = 0; i < cols_.size(); ++i) {
+      if (unqualify(cols_[i].name) == lowered) {
+        if (hit) throw PlanError("ambiguous column reference: " + name);
+        hit = i;
+      }
+    }
+    if (hit) return hit;
+  } else {
+    // Pass 3: qualified name "a.c" matches a stored *unqualified* "c"
+    // (referencing a base table's or derived table's bare column through
+    // an alias). A stored name carrying a different qualifier never
+    // matches — "outer_t.l_partkey" must not hit "inner_t.l_partkey".
+    const std::string bare = unqualify(lowered);
+    for (std::size_t i = 0; i < cols_.size(); ++i) {
+      if (cols_[i].name == bare &&
+          cols_[i].name.find('.') == std::string::npos) {
+        if (hit) throw PlanError("ambiguous column reference: " + name);
+        hit = i;
+      }
+    }
+    if (hit) return hit;
+  }
+  return std::nullopt;
+}
+
+std::size_t Schema::index_of(const std::string& name) const {
+  auto i = find(name);
+  if (!i) throw PlanError("unknown column: " + name + " in " + to_string());
+  return *i;
+}
+
+Schema Schema::qualified(const std::string& alias) const {
+  Schema out;
+  for (const auto& c : cols_)
+    out.add(to_lower(alias) + "." + unqualify(c.name), c.type);
+  return out;
+}
+
+Schema Schema::concat(const Schema& a, const Schema& b) {
+  Schema out = a;
+  for (const auto& c : b.columns()) out.add(c.name, c.type);
+  return out;
+}
+
+std::string Schema::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    if (i) out += ", ";
+    out += cols_[i].name;
+    out += ":";
+    out += ysmart::to_string(cols_[i].type);
+  }
+  out += "]";
+  return out;
+}
+
+std::string unqualify(const std::string& name) {
+  const auto dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+}  // namespace ysmart

@@ -1,0 +1,58 @@
+// Schema: ordered list of named, typed columns describing a Table or any
+// intermediate relation flowing between plan operators and MR jobs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ysmart {
+
+struct Column {
+  std::string name;  // lower-cased, possibly qualified as "alias.col"
+  ValueType type = ValueType::Null;
+
+  bool operator==(const Column&) const = default;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  std::size_t size() const { return cols_.size(); }
+  bool empty() const { return cols_.empty(); }
+  const Column& at(std::size_t i) const { return cols_.at(i); }
+  const std::vector<Column>& columns() const { return cols_; }
+
+  void add(std::string name, ValueType type);
+
+  /// Index of column `name`. Matching rules: an exact match on the stored
+  /// name wins; otherwise an unqualified `name` matches a stored
+  /// "alias.name" suffix. Throws PlanError if ambiguous; nullopt if absent.
+  std::optional<std::size_t> find(const std::string& name) const;
+
+  /// find() that throws PlanError when the column does not exist.
+  std::size_t index_of(const std::string& name) const;
+
+  /// New schema with every column name prefixed "alias." (old qualifiers
+  /// stripped first).
+  Schema qualified(const std::string& alias) const;
+
+  /// Concatenation of two schemas (for join outputs).
+  static Schema concat(const Schema& a, const Schema& b);
+
+  std::string to_string() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+/// Strip a leading "alias." qualifier, if any.
+std::string unqualify(const std::string& name);
+
+}  // namespace ysmart

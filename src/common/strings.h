@@ -1,0 +1,24 @@
+// Small string helpers shared across the library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ysmart {
+
+std::string to_lower(std::string s);
+std::string to_upper(std::string s);
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// printf-style formatting into a std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ysmart

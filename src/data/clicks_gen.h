@@ -1,0 +1,29 @@
+// Click-stream generator for the Q-CSA workload (paper Section I).
+//
+// CLICKS(uid, page_id, cid, ts): per user a time-ordered stream of page
+// views across categories. Categories are drawn with a Zipf skew so the
+// "between a page in category X and a page in category Y" sessions Q-CSA
+// measures actually occur. Deterministic under a seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/table.h"
+
+namespace ysmart {
+
+struct ClicksConfig {
+  std::uint64_t seed = 1411;  // page number of the SQL/MR paper Q-CSA cites
+  std::int64_t users = 4000;
+  std::int64_t mean_clicks_per_user = 40;
+  std::int64_t pages = 10000;
+  std::int64_t categories = 20;
+  double category_skew = 0.8;
+};
+
+Schema clicks_schema();
+
+std::shared_ptr<Table> generate_clicks(const ClicksConfig& cfg);
+
+}  // namespace ysmart

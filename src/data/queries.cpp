@@ -1,0 +1,169 @@
+#include "data/queries.h"
+
+namespace ysmart::queries {
+
+// Fig. 3 of the paper, with the reserved-word aliases inner/outer renamed.
+const PaperQuery& q17() {
+  static const PaperQuery q{
+      "Q17",
+      R"sql(
+SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+FROM (SELECT l_partkey, 0.2 * avg(l_quantity) AS t1
+      FROM lineitem
+      GROUP BY l_partkey) AS inner_t,
+     (SELECT l_partkey, l_quantity, l_extendedprice
+      FROM lineitem, part
+      WHERE p_partkey = l_partkey) AS outer_t
+WHERE outer_t.l_partkey = inner_t.l_partkey
+  AND outer_t.l_quantity < inner_t.t1
+)sql",
+      /*ysmart_jobs=*/2,   // AGG1+JOIN1+JOIN2 merged, plus the final AGG
+      /*one_op_jobs=*/4};  // "For Q17 by Hive, there are four jobs"
+  return q;
+}
+
+// TPC-H Q18 flattened with first-aggregation-then-join; the HAVING
+// becomes a residual predicate on the join with the aggregated side.
+const PaperQuery& q18() {
+  static const PaperQuery q{
+      "Q18",
+      R"sql(
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       sum(l_quantity) AS total_qty
+FROM (SELECT l_orderkey, o_custkey, o_orderkey, o_orderdate, o_totalprice,
+             l_quantity
+      FROM lineitem, orders
+      WHERE o_orderkey = l_orderkey) AS lo,
+     (SELECT l_orderkey AS t_orderkey, sum(l_quantity) AS t_sum_quantity
+      FROM lineitem
+      GROUP BY l_orderkey) AS t,
+     customer
+WHERE lo.l_orderkey = t.t_orderkey
+  AND t.t_sum_quantity > 300
+  AND c_custkey = lo.o_custkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100
+)sql",
+      /*ysmart_jobs=*/3,   // {JOIN1+AGG1+JOIN2}, {JOIN2'+AGG}, {SORT}
+      /*one_op_jobs=*/6};  // JOIN1, AGG1, JOIN2, JOIN3, AGG2, SORT
+  return q;
+}
+
+// TPC-H Q21 flattened; the Appendix sub-tree ("Left Outer Join1") plus
+// the supplier/nation joins and the final aggregation and sort.
+const PaperQuery& q21() {
+  static const PaperQuery q{
+      "Q21",
+      R"sql(
+SELECT s_name, count(*) AS numwait
+FROM (SELECT sq1.l_orderkey AS wt_orderkey, sq1.l_suppkey AS wt_suppkey
+      FROM (SELECT l_suppkey, l_orderkey
+            FROM lineitem, orders
+            WHERE o_orderkey = l_orderkey
+              AND l_receiptdate > l_commitdate
+              AND o_orderstatus = 'F') AS sq1,
+           (SELECT l_orderkey AS sq2_orderkey,
+                   count(distinct l_suppkey) AS cs,
+                   max(l_suppkey) AS ms
+            FROM lineitem
+            GROUP BY l_orderkey) AS sq2
+      WHERE sq1.l_orderkey = sq2.sq2_orderkey
+        AND ((sq2.cs > 1) OR ((sq2.cs = 1) AND (sq1.l_suppkey <> sq2.ms)))
+     ) AS sq12
+     LEFT OUTER JOIN
+     (SELECT l_orderkey AS sq3_orderkey,
+             count(distinct l_suppkey) AS cs3,
+             max(l_suppkey) AS ms3
+      FROM lineitem
+      WHERE l_receiptdate > l_commitdate
+      GROUP BY l_orderkey) AS sq3
+     ON sq12.wt_orderkey = sq3.sq3_orderkey,
+     supplier, nation
+WHERE ((sq3.cs3 IS NULL) OR ((sq3.cs3 = 1) AND (sq12.wt_suppkey = sq3.ms3)))
+  AND s_suppkey = sq12.wt_suppkey
+  AND s_nationkey = n_nationkey
+  AND n_name = 'SAUDI ARABIA'
+GROUP BY s_name
+ORDER BY numwait DESC, s_name
+LIMIT 100
+)sql",
+      /*ysmart_jobs=*/5,   // 5-op sub-tree in ONE job + 2 joins + agg + sort
+      /*one_op_jobs=*/9};
+  return q;
+}
+
+// Fig. 1 of the paper (category ids 1 and 2 stand for X and Y).
+const PaperQuery& qcsa() {
+  static const PaperQuery q{
+      "Q-CSA",
+      R"sql(
+SELECT avg(pageview_count) AS avg_pageviews
+FROM (SELECT c.uid, mp.ts1, count(*) - 2 AS pageview_count
+      FROM clicks AS c,
+           (SELECT uid, max(ts1) AS ts1, ts2
+            FROM (SELECT c1.uid, c1.ts AS ts1, min(c2.ts) AS ts2
+                  FROM clicks AS c1, clicks AS c2
+                  WHERE c1.uid = c2.uid AND c1.ts < c2.ts
+                    AND c1.cid = 1 AND c2.cid = 2
+                  GROUP BY c1.uid, ts1) AS cp
+            GROUP BY uid, ts2) AS mp
+      WHERE c.uid = mp.uid AND c.ts >= mp.ts1 AND c.ts <= mp.ts2
+      GROUP BY c.uid, mp.ts1) AS pageview_counts
+)sql",
+      /*ysmart_jobs=*/2,   // "YSmart executes two jobs" (Section VII-D)
+      /*one_op_jobs=*/6};  // "while Hive executes six jobs"
+  return q;
+}
+
+// The simple aggregation of Fig. 2(b): one job for every translator.
+const PaperQuery& qagg() {
+  static const PaperQuery q{
+      "Q-AGG",
+      "SELECT cid, count(*) AS clicks_count FROM clicks GROUP BY cid",
+      /*ysmart_jobs=*/1,
+      /*one_op_jobs=*/1};
+  return q;
+}
+
+// The Appendix SQL, verbatim structure: JOIN1 (lines 3-7), AGG1 (8-12),
+// JOIN2 (2-16), AGG2 (18-23), Left Outer Join1 (17/24-26).
+const PaperQuery& q21_subtree() {
+  static const PaperQuery q{
+      "Q21-subtree",
+      R"sql(
+SELECT sq12.wt_suppkey AS l_suppkey
+FROM (SELECT sq1.l_orderkey AS wt_orderkey, sq1.l_suppkey AS wt_suppkey
+      FROM (SELECT l_suppkey, l_orderkey
+            FROM lineitem, orders
+            WHERE o_orderkey = l_orderkey
+              AND l_receiptdate > l_commitdate
+              AND o_orderstatus = 'F') AS sq1,
+           (SELECT l_orderkey AS sq2_orderkey,
+                   count(distinct l_suppkey) AS cs,
+                   max(l_suppkey) AS ms
+            FROM lineitem
+            GROUP BY l_orderkey) AS sq2
+      WHERE sq1.l_orderkey = sq2.sq2_orderkey
+        AND ((sq2.cs > 1) OR ((sq2.cs = 1) AND (sq1.l_suppkey <> sq2.ms)))
+     ) AS sq12
+     LEFT OUTER JOIN
+     (SELECT l_orderkey AS sq3_orderkey,
+             count(distinct l_suppkey) AS cs3,
+             max(l_suppkey) AS ms3
+      FROM lineitem
+      WHERE l_receiptdate > l_commitdate
+      GROUP BY l_orderkey) AS sq3
+     ON sq12.wt_orderkey = sq3.sq3_orderkey
+WHERE (sq3.cs3 IS NULL) OR ((sq3.cs3 = 1) AND (sq12.wt_suppkey = sq3.ms3))
+)sql",
+      /*ysmart_jobs=*/1,   // all five operations in a single job (Fig. 9)
+      /*one_op_jobs=*/5};  // JOIN1, AGG1, JOIN2, AGG2, Left Outer Join1
+  return q;
+}
+
+std::vector<const PaperQuery*> all() {
+  return {&q17(), &q18(), &q21(), &qcsa(), &qagg()};
+}
+
+}  // namespace ysmart::queries

@@ -1,0 +1,36 @@
+// The paper's evaluation workload (Section VII-A): flattened TPC-H Q17,
+// Q18, Q21 (first-aggregation-then-join, as Hive's published TPC-H
+// scripts did) and the two click-stream queries Q-CSA (Fig. 1) and Q-AGG.
+//
+// Each entry carries the job counts the paper reports (or that follow
+// from its one-op-per-job description), asserted by the test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ysmart::queries {
+
+struct PaperQuery {
+  std::string id;          // "Q17", "Q18", "Q21", "Q-CSA", "Q-AGG"
+  std::string sql;
+  int ysmart_jobs;         // jobs the YSmart translation must produce
+  int one_op_jobs;         // jobs a one-operation-per-job translation makes
+};
+
+const PaperQuery& q17();
+const PaperQuery& q18();
+const PaperQuery& q21();
+const PaperQuery& qcsa();
+const PaperQuery& qagg();
+
+/// The Q21 "Left Outer Join1" sub-tree alone (the Appendix SQL): the
+/// workload of the Fig. 9 correlation ablation. Five operations; one
+/// MapReduce job under full correlation awareness.
+const PaperQuery& q21_subtree();
+
+/// All five evaluation queries, in the order above (excludes the
+/// Fig. 9-only sub-tree query).
+std::vector<const PaperQuery*> all();
+
+}  // namespace ysmart::queries

@@ -1,0 +1,59 @@
+// AggState: incremental state of one aggregate call.
+//
+// Supports count(*) / count(x) / count(distinct x) / sum / avg / min /
+// max with SQL NULL handling (non-star aggregates skip NULL inputs; an
+// empty group yields NULL except count, which yields 0).
+//
+// States are mergeable, which enables Hadoop-combiner-style map-side
+// partial aggregation (the Hive optimization the paper notes in footnote
+// 2). count(distinct) cannot be combined losslessly by value counts, so
+// its partial form carries the distinct set itself.
+#pragma once
+
+#include <set>
+#include <span>
+#include <string>
+
+#include "common/value.h"
+#include "plan/plan.h"
+
+namespace ysmart {
+
+class AggState {
+ public:
+  explicit AggState(const AggCall& call);
+
+  /// Feed one input value (ignored content for star-count).
+  void add(const Value& v);
+
+  void merge(const AggState& other);
+
+  Value result() const;
+
+  // ---- partial (combiner) serialization ----
+  /// Number of Values this state serializes into. Distinct states are
+  /// variable-length and return kVariableArity.
+  static constexpr int kVariableArity = -1;
+  int partial_arity() const;
+  void to_partial(Row& out) const;
+  /// Consume `partial_arity()` values from `in` (fixed-arity states only).
+  void add_partial(std::span<const Value> in);
+
+  const AggCall& call() const { return call_; }
+
+ private:
+  AggCall call_;
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+  bool sum_all_int_ = true;
+  std::int64_t isum_ = 0;
+  Value min_;
+  Value max_;
+  std::set<Value> distinct_;
+};
+
+/// True if every aggregate of `agg` supports fixed-arity partials (i.e.
+/// map-side partial aggregation is applicable).
+bool combinable(const PlanNode& agg);
+
+}  // namespace ysmart

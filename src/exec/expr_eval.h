@@ -1,0 +1,53 @@
+// BoundExpr: an expression compiled against a schema for evaluation.
+//
+// Column references are resolved to row indices once at bind time; eval()
+// then runs with no name lookups. Semantics are SQL-ish: NULL propagates
+// through arithmetic and comparisons, AND/OR follow Kleene three-valued
+// logic, and is_true() maps NULL/0 to false for filtering.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/schema.h"
+#include "sql/ast.h"
+
+namespace ysmart {
+
+class BoundExpr {
+ public:
+  BoundExpr() = default;
+
+  /// Binds `expr` against `schema`; throws PlanError for unknown columns.
+  BoundExpr(ExprPtr expr, const Schema& schema);
+
+  bool valid() const { return expr_ != nullptr; }
+
+  Value eval(const Row& row) const;
+
+  const ExprPtr& expr() const { return expr_; }
+
+ private:
+  struct Node {
+    ExprKind kind{};
+    Value literal;
+    std::size_t col_index = 0;
+    std::string op;
+    bool negated = false;
+    std::vector<Node> args;
+  };
+  static Node compile(const Expr& e, const Schema& schema);
+  static Value eval_node(const Node& n, const Row& row);
+
+  ExprPtr expr_;
+  Node root_;
+};
+
+/// SQL truthiness: NULL and numeric zero are false.
+bool is_true(const Value& v);
+
+/// Bind a list of expressions against one schema.
+std::vector<BoundExpr> bind_all(const std::vector<ExprPtr>& exprs,
+                                const Schema& schema);
+
+}  // namespace ysmart

@@ -1,0 +1,249 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "exec/aggregates.h"
+
+namespace ysmart {
+
+std::vector<Row> filter_project(const std::vector<Row>& in,
+                                const BoundExpr* filter,
+                                const std::vector<BoundExpr>& projections) {
+  std::vector<Row> out;
+  out.reserve(in.size());
+  for (const auto& r : in) {
+    if (filter && filter->valid() && !is_true(filter->eval(r))) continue;
+    if (projections.empty()) {
+      out.push_back(r);
+    } else {
+      Row p;
+      p.reserve(projections.size());
+      for (const auto& e : projections) p.push_back(e.eval(r));
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Row concat_rows(const Row& a, const Row& b) {
+  Row r = a;
+  r.insert(r.end(), b.begin(), b.end());
+  return r;
+}
+
+Row null_row(std::size_t n) { return Row(n, Value::null()); }
+
+void emit_joined(const GroupJoinSpec& spec, Row joined, std::vector<Row>& out) {
+  if (spec.residual && spec.residual->valid() &&
+      !is_true(spec.residual->eval(joined)))
+    return;
+  if (spec.projections && !spec.projections->empty()) {
+    Row p;
+    p.reserve(spec.projections->size());
+    for (const auto& e : *spec.projections) p.push_back(e.eval(joined));
+    out.push_back(std::move(p));
+  } else {
+    out.push_back(std::move(joined));
+  }
+}
+
+bool keys_equal(const GroupJoinSpec& spec, const Row& l, const Row& r) {
+  for (std::size_t i = 0; i < spec.left_key_idx.size(); ++i) {
+    const Value& a = l.at(spec.left_key_idx[i]);
+    const Value& b = r.at(spec.right_key_idx[i]);
+    // SQL equi-join: NULL keys never match.
+    if (a.is_null() || b.is_null()) return false;
+    if (a.compare(b) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Row> join_group(const GroupJoinSpec& spec,
+                            const std::vector<Row>& left,
+                            const std::vector<Row>& right) {
+  std::vector<Row> out;
+  std::vector<char> right_matched(right.size(), 0);
+  for (const auto& l : left) {
+    bool matched = false;
+    for (std::size_t j = 0; j < right.size(); ++j) {
+      if (!keys_equal(spec, l, right[j])) continue;
+      matched = true;
+      right_matched[j] = 1;
+      emit_joined(spec, concat_rows(l, right[j]), out);
+    }
+    if (!matched &&
+        (spec.type == JoinType::Left || spec.type == JoinType::Full)) {
+      emit_joined(spec, concat_rows(l, null_row(spec.right_width)), out);
+    }
+  }
+  if (spec.type == JoinType::Right || spec.type == JoinType::Full) {
+    for (std::size_t j = 0; j < right.size(); ++j) {
+      if (!right_matched[j])
+        emit_joined(spec, concat_rows(null_row(spec.left_width), right[j]), out);
+    }
+  }
+  return out;
+}
+
+std::vector<Row> hash_join(const PlanNode& join, const std::vector<Row>& left,
+                           const std::vector<Row>& right) {
+  check(join.kind == PlanKind::Join, "hash_join on non-Join node");
+  const Schema& ls = join.children[0]->output_schema;
+  const Schema& rs = join.children[1]->output_schema;
+  std::vector<std::size_t> lk, rk;
+  for (std::size_t i = 0; i < join.left_keys.size(); ++i) {
+    lk.push_back(ls.index_of(join.left_keys[i]));
+    rk.push_back(rs.index_of(join.right_keys[i]));
+  }
+  const Schema combined = Schema::concat(ls, rs);
+  BoundExpr residual;
+  if (join.filter) residual = BoundExpr(join.filter, combined);
+  std::vector<BoundExpr> projections = bind_all(join.projections, combined);
+
+  GroupJoinSpec spec;
+  spec.type = join.join_type;
+  spec.residual = join.filter ? &residual : nullptr;
+  spec.projections = &projections;
+  spec.left_width = ls.size();
+  spec.right_width = rs.size();
+  spec.left_key_idx = lk;
+  spec.right_key_idx = rk;
+
+  // Bucket both sides by key, then run the group joiner per bucket. NULL
+  // keys never join but must still surface through outer padding, so they
+  // go into per-side "unmatched" pools.
+  std::map<Row, std::pair<std::vector<Row>, std::vector<Row>>, RowLess> buckets;
+  std::vector<Row> left_null, right_null;
+  auto key_of = [](const Row& r, const std::vector<std::size_t>& idx,
+                   bool& has_null) {
+    Row k;
+    k.reserve(idx.size());
+    for (auto i : idx) {
+      if (r.at(i).is_null()) has_null = true;
+      k.push_back(r.at(i));
+    }
+    return k;
+  };
+  for (const auto& r : left) {
+    bool has_null = false;
+    Row k = key_of(r, lk, has_null);
+    if (has_null)
+      left_null.push_back(r);
+    else
+      buckets[std::move(k)].first.push_back(r);
+  }
+  for (const auto& r : right) {
+    bool has_null = false;
+    Row k = key_of(r, rk, has_null);
+    if (has_null)
+      right_null.push_back(r);
+    else
+      buckets[std::move(k)].second.push_back(r);
+  }
+
+  std::vector<Row> out;
+  for (auto& [k, lr] : buckets) {
+    auto rows = join_group(spec, lr.first, lr.second);
+    out.insert(out.end(), std::make_move_iterator(rows.begin()),
+               std::make_move_iterator(rows.end()));
+  }
+  // Null-keyed rows join nothing; pad them for outer joins.
+  if (spec.type == JoinType::Left || spec.type == JoinType::Full)
+    for (const auto& l : left_null)
+      emit_joined(spec, concat_rows(l, null_row(spec.right_width)), out);
+  if (spec.type == JoinType::Right || spec.type == JoinType::Full)
+    for (const auto& r : right_null)
+      emit_joined(spec, concat_rows(null_row(spec.left_width), r), out);
+  return out;
+}
+
+std::vector<Row> aggregate_rows(const PlanNode& agg,
+                                const std::vector<Row>& in) {
+  check(agg.kind == PlanKind::Agg, "aggregate_rows on non-Agg node");
+  const Schema& child = agg.children[0]->output_schema;
+  std::vector<std::size_t> group_idx;
+  for (const auto& g : agg.group_cols) group_idx.push_back(child.index_of(g));
+  std::vector<BoundExpr> agg_args;
+  for (const auto& a : agg.aggs) {
+    if (a.star)
+      agg_args.emplace_back();  // unused placeholder
+    else
+      agg_args.emplace_back(a.arg, child);
+  }
+
+  std::map<Row, std::vector<AggState>, RowLess> groups;
+  for (const auto& r : in) {
+    Row key;
+    key.reserve(group_idx.size());
+    for (auto i : group_idx) key.push_back(r.at(i));
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      std::vector<AggState> st;
+      st.reserve(agg.aggs.size());
+      for (const auto& a : agg.aggs) st.emplace_back(a);
+      it = groups.emplace(std::move(key), std::move(st)).first;
+    }
+    for (std::size_t i = 0; i < agg.aggs.size(); ++i) {
+      if (agg.aggs[i].star)
+        it->second[i].add(Value{std::int64_t{1}});
+      else
+        it->second[i].add(agg_args[i].eval(r));
+    }
+  }
+  // Global aggregation over empty input still yields one group.
+  if (groups.empty() && group_idx.empty()) {
+    std::vector<AggState> st;
+    for (const auto& a : agg.aggs) st.emplace_back(a);
+    groups.emplace(Row{}, std::move(st));
+  }
+
+  const Schema internal = agg.agg_internal_schema();
+  std::vector<BoundExpr> projections = bind_all(agg.projections, internal);
+  // HAVING: post-aggregation filter over the output schema.
+  BoundExpr having;
+  if (agg.filter) having = BoundExpr(agg.filter, agg.output_schema);
+  std::vector<Row> out;
+  out.reserve(groups.size());
+  for (const auto& [key, states] : groups) {
+    Row internal_row = key;
+    for (const auto& s : states) internal_row.push_back(s.result());
+    Row o;
+    o.reserve(projections.size());
+    for (const auto& p : projections) o.push_back(p.eval(internal_row));
+    if (having.valid() && !is_true(having.eval(o))) continue;
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+std::vector<Row> sort_rows(const PlanNode& sort, std::vector<Row> in) {
+  check(sort.kind == PlanKind::Sort, "sort_rows on non-Sort node");
+  const Schema& child = sort.children[0]->output_schema;
+  std::vector<BoundExpr> keys;
+  std::vector<bool> desc;
+  for (const auto& k : sort.sort_keys) {
+    keys.emplace_back(k.expr, child);
+    desc.push_back(k.desc);
+  }
+  if (!keys.empty()) {
+    std::stable_sort(in.begin(), in.end(), [&](const Row& a, const Row& b) {
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        const auto c = keys[i].eval(a).compare(keys[i].eval(b));
+        if (c != 0) return desc[i] ? c > 0 : c < 0;
+      }
+      return false;
+    });
+  }
+  if (sort.limit && static_cast<std::int64_t>(in.size()) > *sort.limit)
+    in.resize(static_cast<std::size_t>(*sort.limit));
+  return in;
+}
+
+}  // namespace ysmart

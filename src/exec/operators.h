@@ -1,0 +1,55 @@
+// Row-vector implementations of the plan operations.
+//
+// These functions are the single source of operator semantics in the
+// repository: the reference executor (refdb) runs them over whole tables,
+// and the CMF common reducer runs them over per-key row groups, so both
+// paths compute identical results by construction.
+#pragma once
+
+#include <vector>
+
+#include "exec/expr_eval.h"
+#include "plan/plan.h"
+
+namespace ysmart {
+
+/// Scan/SP body: filter (may be invalid = pass-all) then project
+/// (empty projections = identity).
+std::vector<Row> filter_project(const std::vector<Row>& in,
+                                const BoundExpr* filter,
+                                const std::vector<BoundExpr>& projections);
+
+/// Join two row sets that are already co-partitioned on the equi-key
+/// (i.e. one reduce key group): cross-match within the group, then apply
+/// the residual predicate (WHERE semantics: after null-padding for outer
+/// joins), then project. `left_width`/`right_width` are the child output
+/// arities used for padding.
+struct GroupJoinSpec {
+  JoinType type = JoinType::Inner;
+  const BoundExpr* residual = nullptr;      // over concat(left, right)
+  const std::vector<BoundExpr>* projections = nullptr;  // empty = identity
+  std::size_t left_width = 0;
+  std::size_t right_width = 0;
+  /// Equi-key indices into the left/right child rows; used to re-check
+  /// key equality (guards against hash-grouped callers) and may be empty
+  /// when the caller guarantees single-key groups.
+  std::vector<std::size_t> left_key_idx;
+  std::vector<std::size_t> right_key_idx;
+};
+std::vector<Row> join_group(const GroupJoinSpec& spec,
+                            const std::vector<Row>& left,
+                            const std::vector<Row>& right);
+
+/// Full hash equi-join of two tables (used by refdb).
+std::vector<Row> hash_join(const PlanNode& join, const std::vector<Row>& left,
+                           const std::vector<Row>& right);
+
+/// Grouping aggregation over arbitrary rows (not pre-partitioned):
+/// groups by `agg.group_cols`, computes aggregates, applies the post
+/// projections. Output is sorted by group key for determinism.
+std::vector<Row> aggregate_rows(const PlanNode& agg, const std::vector<Row>& in);
+
+/// ORDER BY (+ LIMIT). Keys bind against the child's output schema.
+std::vector<Row> sort_rows(const PlanNode& sort, std::vector<Row> in);
+
+}  // namespace ysmart

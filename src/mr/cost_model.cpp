@@ -1,0 +1,71 @@
+#include "mr/cost_model.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace ysmart {
+
+double CostModel::scaled_mb(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) * cfg_.sim_scale / (1024.0 * 1024.0);
+}
+
+double CostModel::map_task_seconds(const MapTaskWork& w,
+                                   double cpu_multiplier) const {
+  double t = cfg_.task_startup_s;
+  // Read input: local disk or over the network from a remote replica.
+  const double in_mb = scaled_mb(w.input_bytes);
+  t += in_mb / (w.local_read ? cfg_.disk_read_mb_per_s : cfg_.network_mb_per_s);
+  // Map function CPU.
+  t += static_cast<double>(w.input_records) * cfg_.sim_scale *
+       cfg_.map_cpu_us_per_record * cpu_multiplier * 1e-6;
+  // Sort + spill of the map output.
+  const double out_raw_mb = scaled_mb(w.output_bytes_raw);
+  t += out_raw_mb / cfg_.sort_mb_per_s;
+  if (cfg_.compression.enabled)
+    t += out_raw_mb / cfg_.compression.compress_mb_per_s;
+  t += scaled_mb(w.output_bytes_wire) / cfg_.disk_write_mb_per_s;
+  return t;
+}
+
+double CostModel::reduce_task_seconds(const ReduceTaskWork& w,
+                                      double cpu_multiplier) const {
+  double t = cfg_.task_startup_s;
+  // Shuffle fetch over the network (HTTP copies in Hadoop).
+  t += scaled_mb(w.shuffle_bytes_wire) / cfg_.network_mb_per_s;
+  if (cfg_.compression.enabled)
+    t += scaled_mb(w.shuffle_bytes_raw) / cfg_.compression.decompress_mb_per_s;
+  // Merge of sorted runs: one read+write pass over the raw data.
+  t += scaled_mb(w.shuffle_bytes_raw) *
+       (1.0 / cfg_.disk_read_mb_per_s + 1.0 / cfg_.disk_write_mb_per_s);
+  // Reduce function CPU.
+  t += static_cast<double>(w.input_records) * cfg_.sim_scale *
+       cfg_.reduce_cpu_us_per_record * cpu_multiplier * 1e-6;
+  // Output to DFS: local write plus (replication-1) network copies.
+  const double out_mb = scaled_mb(w.output_bytes);
+  t += out_mb / cfg_.disk_write_mb_per_s;
+  if (cfg_.replication > 1)
+    t += out_mb * (cfg_.replication - 1) / cfg_.network_mb_per_s;
+  return t;
+}
+
+double CostModel::makespan(std::vector<double> task_seconds, int slots) {
+  check(slots >= 1, "makespan: need at least one slot");
+  if (task_seconds.empty()) return 0;
+  std::sort(task_seconds.begin(), task_seconds.end(), std::greater<>());
+  // Min-heap of slot finish times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> heap;
+  for (int i = 0; i < slots; ++i) heap.push(0.0);
+  double span = 0;
+  for (double t : task_seconds) {
+    double start = heap.top();
+    heap.pop();
+    const double end = start + t;
+    span = std::max(span, end);
+    heap.push(end);
+  }
+  return span;
+}
+
+}  // namespace ysmart

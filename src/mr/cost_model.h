@@ -1,0 +1,62 @@
+// CostModel: converts measured job quantities into simulated seconds.
+//
+// All byte/record quantities arriving here are in-memory measurements; the
+// model multiplies them by ClusterConfig::sim_scale so they represent the
+// paper's full-size data, then applies the hardware model:
+//
+//   map task    = task_startup + read(in_bytes) + cpu(records)
+//                 + sort(out_bytes) + spill_write(out_bytes_wire)
+//                 [+ compression cpu]
+//   reduce task = task_startup + shuffle_fetch(wire_bytes) [+ decompress]
+//                 + merge(raw_bytes) + cpu(records) + dfs_write(out)
+//   phase time  = greedy makespan of task times over the phase's slots
+//   job time    = sched_delay + map phase + reduce phase
+//
+// Phase times — not just totals — matter because the paper's figures
+// (Fig. 9, 10, 12) report per-job map/reduce breakdowns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mr/cluster.h"
+
+namespace ysmart {
+
+struct MapTaskWork {
+  std::uint64_t input_bytes = 0;
+  std::uint64_t input_records = 0;
+  std::uint64_t output_records = 0;
+  std::uint64_t output_bytes_raw = 0;   // pre-compression map output
+  std::uint64_t output_bytes_wire = 0;  // post-compression (== raw if off)
+  bool local_read = true;
+};
+
+struct ReduceTaskWork {
+  std::uint64_t shuffle_bytes_raw = 0;
+  std::uint64_t shuffle_bytes_wire = 0;
+  std::uint64_t input_records = 0;   // values iterated
+  std::uint64_t output_records = 0;
+  std::uint64_t output_bytes = 0;    // written to DFS (one copy)
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const ClusterConfig& cfg) : cfg_(cfg) {}
+
+  double map_task_seconds(const MapTaskWork& w, double cpu_multiplier) const;
+  double reduce_task_seconds(const ReduceTaskWork& w,
+                             double cpu_multiplier) const;
+
+  /// Greedy longest-processing-time makespan of `task_seconds` over
+  /// `slots` parallel slots (deterministic).
+  static double makespan(std::vector<double> task_seconds, int slots);
+
+  const ClusterConfig& cluster() const { return cfg_; }
+
+ private:
+  double scaled_mb(std::uint64_t bytes) const;
+  const ClusterConfig& cfg_;
+};
+
+}  // namespace ysmart

@@ -1,0 +1,333 @@
+#include "mr/engine.h"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ysmart {
+
+namespace {
+
+/// One map task = one block of one input file.
+struct MapTaskDef {
+  const DfsFile* file = nullptr;
+  const DfsBlock* block = nullptr;
+  int input_tag = 0;
+  int scheduled_node = 0;  // node the TaskTracker runs the task on
+};
+
+/// Buffered map emitter: partitions pairs by hash(key) % R and counts
+/// bytes with the job's tag encoding.
+class PartitioningEmitter final : public MapEmitter {
+ public:
+  PartitioningEmitter(int num_partitions, const MRJobSpec& spec)
+      : spec_(spec), buckets_(static_cast<std::size_t>(num_partitions)) {}
+
+  void emit(KeyValue kv) override {
+    bytes_ += kv_byte_size(kv, spec_.num_merged_jobs, spec_.tag_encoding);
+    ++records_;
+    const std::size_t p = RowHash{}(kv.key) % buckets_.size();
+    buckets_[p].push_back(std::move(kv));
+  }
+
+  std::vector<std::vector<KeyValue>> take_buckets() { return std::move(buckets_); }
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t records() const { return records_; }
+
+ private:
+  const MRJobSpec& spec_;
+  std::vector<std::vector<KeyValue>> buckets_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+struct MapTaskResult {
+  std::vector<std::vector<KeyValue>> buckets;
+  MapTaskWork work;
+};
+
+/// Collects reduce output rows per job output and counts bytes.
+class CollectingReduceEmitter final : public ReduceEmitter {
+ public:
+  explicit CollectingReduceEmitter(const std::vector<JobOutput>& outputs) {
+    for (const auto& o : outputs)
+      tables_.push_back(std::make_shared<Table>(o.schema));
+  }
+
+  void emit_to(int output_idx, Row row) override {
+    check(output_idx >= 0 &&
+              static_cast<std::size_t>(output_idx) < tables_.size(),
+          "reduce emitted to unknown output index");
+    bytes_ += row_byte_size(row);
+    ++records_;
+    tables_[static_cast<std::size_t>(output_idx)]->append(std::move(row));
+  }
+
+  std::vector<std::shared_ptr<Table>>& tables() { return tables_; }
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t records() const { return records_; }
+
+ private:
+  std::vector<std::shared_ptr<Table>> tables_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+MapTaskResult run_map_task(const MRJobSpec& spec, const MapTaskDef& task,
+                           int num_partitions) {
+  MapTaskResult res;
+  PartitioningEmitter emitter(num_partitions, spec);
+  auto mapper = spec.make_mapper();
+  check(mapper != nullptr, "job has no mapper");
+  const auto& rows = task.file->table->rows();
+  const std::size_t end = task.block->first_row + task.block->row_count;
+  for (std::size_t i = task.block->first_row; i < end; ++i)
+    mapper->map(rows[i], task.input_tag, emitter);
+  mapper->finish(emitter);
+
+  res.work.input_bytes = task.block->bytes;
+  res.work.input_records = task.block->row_count;
+  res.work.output_records = emitter.records();
+  res.work.output_bytes_raw = emitter.bytes();
+  res.work.local_read =
+      std::find(task.block->replica_nodes.begin(),
+                task.block->replica_nodes.end(),
+                task.scheduled_node) != task.block->replica_nodes.end();
+  res.buckets = emitter.take_buckets();
+  // Sort each partition by key (the map-side sort in Hadoop).
+  for (auto& b : res.buckets) std::stable_sort(b.begin(), b.end(), kv_less);
+  return res;
+}
+
+}  // namespace
+
+Engine::Engine(Dfs& dfs, ClusterConfig cfg)
+    : dfs_(dfs),
+      cfg_(std::move(cfg)),
+      cost_(cfg_),
+      contention_rng_(cfg_.contention.seed) {}
+
+JobMetrics Engine::run(const MRJobSpec& spec) {
+  check(!spec.outputs.empty(), "job needs at least one output");
+  JobMetrics m;
+  m.job_name = spec.name;
+
+  // ---- contention: scheduling delay and reduced slot availability ----
+  double slot_share = 1.0;
+  if (cfg_.contention.enabled) {
+    m.sched_delay_s = contention_rng_.exponential(cfg_.contention.mean_sched_delay_s);
+    slot_share = cfg_.contention.min_slot_share +
+                 contention_rng_.uniform01() *
+                     (cfg_.contention.max_slot_share - cfg_.contention.min_slot_share);
+  }
+  const int map_slots =
+      std::max(1, static_cast<int>(cfg_.total_map_slots() * slot_share));
+  const int reduce_slots =
+      std::max(1, static_cast<int>(cfg_.total_reduce_slots() * slot_share));
+
+  // ---- build map task list ----
+  std::vector<MapTaskDef> tasks;
+  for (const auto& in : spec.inputs) {
+    const DfsFile& f = dfs_.file(in.path);
+    for (const auto& b : f.blocks) {
+      MapTaskDef t;
+      t.file = &f;
+      t.block = &b;
+      t.input_tag = in.input_tag;
+      tasks.push_back(t);
+    }
+  }
+  // Round-robin TaskTracker assignment; block placement is also
+  // round-robin, so locality emerges naturally (mostly local when
+  // replication covers the schedule).
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    tasks[i].scheduled_node = static_cast<int>(i % cfg_.worker_nodes);
+
+  const bool map_only = !spec.make_reducer;
+  // The cluster would run `target_reducers` reduce tasks; the simulator
+  // executes at most kMaxSimReducers partitions and scales each
+  // partition's modeled cost down by the ratio, so large clusters keep
+  // their real per-task work (and their scaling behaviour) without the
+  // simulator materializing thousands of partitions.
+  const int target_reducers =
+      map_only ? 1
+               : (spec.num_reduce_tasks > 0 ? spec.num_reduce_tasks
+                                            : cfg_.total_reduce_slots());
+  const int num_reducers = std::min(target_reducers, kMaxSimReducers);
+  const double reducer_scale =
+      static_cast<double>(num_reducers) / static_cast<double>(target_reducers);
+
+  // ---- execute map tasks on a thread pool ----
+  std::vector<MapTaskResult> results(tasks.size());
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t stride = std::max<std::size_t>(1, tasks.size() / (hw * 2) + 1);
+  {
+    std::vector<std::future<void>> futs;
+    for (std::size_t start = 0; start < tasks.size(); start += stride) {
+      const std::size_t stop = std::min(tasks.size(), start + stride);
+      futs.push_back(std::async(std::launch::async, [&, start, stop] {
+        for (std::size_t i = start; i < stop; ++i)
+          results[i] = run_map_task(spec, tasks[i], num_reducers);
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  // ---- measure + cost the map phase ----
+  std::vector<double> map_task_times;
+  map_task_times.reserve(results.size());
+  std::uint64_t map_out_bytes_raw = 0;
+  for (auto& r : results) {
+    r.work.output_bytes_raw = static_cast<std::uint64_t>(
+        r.work.output_bytes_raw * spec.intermediate_expansion);
+    r.work.output_bytes_wire =
+        cfg_.compression.enabled
+            ? static_cast<std::uint64_t>(r.work.output_bytes_raw *
+                                         cfg_.compression.ratio)
+            : r.work.output_bytes_raw;
+    m.map.input_records += r.work.input_records;
+    m.map.input_bytes += r.work.input_bytes;
+    m.map.output_records += r.work.output_records;
+    m.map.output_bytes += r.work.output_bytes_raw;
+    if (!r.work.local_read) m.remote_read_bytes += r.work.input_bytes;
+    map_out_bytes_raw += r.work.output_bytes_raw;
+    double task_s = cost_.map_task_seconds(r.work, spec.map_cpu_multiplier);
+    // Fault tolerance: a failed attempt is re-executed from its
+    // materialized input; the attempt's time is paid again.
+    while (cfg_.task_failure_rate > 0 &&
+           contention_rng_.uniform01() < cfg_.task_failure_rate)
+      task_s += cost_.map_task_seconds(r.work, spec.map_cpu_multiplier);
+    map_task_times.push_back(task_s);
+  }
+  m.map.tasks = results.size();
+  m.map_time_s = CostModel::makespan(map_task_times, map_slots);
+
+  // Intermediate-disk capacity check (how Pig's Q-CSA run died: the
+  // intermediate results outgrew the test machines' disks). Hadoop keeps
+  // roughly four transient copies of the map output on local disks at
+  // peak: the sorted spills and their merge on the map side, and the
+  // fetched copies plus their merge on the reduce side.
+  constexpr double kMaterializationCopies = 4.0;
+  const double stored_sim_bytes = static_cast<double>(map_out_bytes_raw) *
+                                  kMaterializationCopies * cfg_.sim_scale;
+  const double capacity =
+      static_cast<double>(cfg_.local_disk_capacity_bytes) * cfg_.worker_nodes;
+  if (stored_sim_bytes > capacity) {
+    m.failed = true;
+    m.fail_reason = strf(
+        "intermediate data (%.1f GB) exceeds local disk capacity (%.1f GB)",
+        stored_sim_bytes / (1024.0 * 1024 * 1024),
+        capacity / (1024.0 * 1024 * 1024));
+  }
+
+  if (map_only) {
+    // Map output rows go straight to DFS output 0 (value part).
+    auto out = std::make_shared<Table>(spec.outputs[0].schema);
+    for (auto& r : results)
+      for (auto& bucket : r.buckets)
+        for (auto& kv : bucket) out->append(std::move(kv.value));
+    m.reduce.output_records = out->row_count();
+    m.reduce.output_bytes = out->byte_size();
+    m.dfs_write_bytes = out->byte_size() * cfg_.replication;
+    dfs_.write(spec.outputs[0].path, std::move(out));
+    return m;
+  }
+
+  // ---- shuffle + reduce, partition by partition ----
+  CollectingReduceEmitter out_emitter(spec.outputs);
+  std::vector<double> reduce_task_times;
+  reduce_task_times.reserve(static_cast<std::size_t>(num_reducers));
+  for (int p = 0; p < num_reducers; ++p) {
+    std::vector<KeyValue> part;
+    for (auto& r : results) {
+      auto& b = r.buckets[static_cast<std::size_t>(p)];
+      part.insert(part.end(), std::make_move_iterator(b.begin()),
+                  std::make_move_iterator(b.end()));
+      b.clear();
+    }
+    std::stable_sort(part.begin(), part.end(), kv_less);
+
+    ReduceTaskWork w;
+    for (const auto& kv : part)
+      w.shuffle_bytes_raw +=
+          kv_byte_size(kv, spec.num_merged_jobs, spec.tag_encoding);
+    w.shuffle_bytes_raw = static_cast<std::uint64_t>(
+        w.shuffle_bytes_raw * spec.intermediate_expansion);
+    w.shuffle_bytes_wire =
+        cfg_.compression.enabled
+            ? static_cast<std::uint64_t>(w.shuffle_bytes_raw *
+                                         cfg_.compression.ratio)
+            : w.shuffle_bytes_raw;
+    w.input_records = part.size();
+
+    const std::uint64_t out_records_before = out_emitter.records();
+    const std::uint64_t out_bytes_before = out_emitter.bytes();
+    auto reducer = spec.make_reducer();
+    check(reducer != nullptr, "reducer factory returned null");
+    std::size_t i = 0;
+    while (i < part.size()) {
+      std::size_t j = i + 1;
+      while (j < part.size() && compare_rows(part[i].key, part[j].key) == 0) ++j;
+      reducer->reduce(part[i].key,
+                      std::span<const KeyValue>(part.data() + i, j - i),
+                      out_emitter);
+      i = j;
+    }
+    w.output_records = out_emitter.records() - out_records_before;
+    w.output_bytes = out_emitter.bytes() - out_bytes_before;
+
+    m.shuffle_bytes_raw += w.shuffle_bytes_raw;
+    m.shuffle_bytes_wire += w.shuffle_bytes_wire;
+    m.reduce.input_records += w.input_records;
+    m.reduce.input_bytes += w.shuffle_bytes_raw;
+    // Model the cost of one of the cluster's real reduce tasks: this sim
+    // partition stands for 1/reducer_scale of them, each carrying a
+    // reducer_scale share of its data.
+    ReduceTaskWork real_task = w;
+    real_task.shuffle_bytes_raw = static_cast<std::uint64_t>(
+        w.shuffle_bytes_raw * reducer_scale);
+    real_task.shuffle_bytes_wire = static_cast<std::uint64_t>(
+        w.shuffle_bytes_wire * reducer_scale);
+    real_task.input_records =
+        static_cast<std::uint64_t>(w.input_records * reducer_scale);
+    real_task.output_records =
+        static_cast<std::uint64_t>(w.output_records * reducer_scale);
+    real_task.output_bytes =
+        static_cast<std::uint64_t>(w.output_bytes * reducer_scale);
+    double task_s =
+        cost_.reduce_task_seconds(real_task, spec.reduce_cpu_multiplier);
+    while (cfg_.task_failure_rate > 0 &&
+           contention_rng_.uniform01() < cfg_.task_failure_rate)
+      task_s +=
+          cost_.reduce_task_seconds(real_task, spec.reduce_cpu_multiplier);
+    reduce_task_times.push_back(task_s);
+  }
+  m.reduce.tasks = static_cast<std::uint64_t>(target_reducers);
+  // Expand to the real task count: each simulated partition's time stands
+  // for ~1/reducer_scale real tasks.
+  if (target_reducers > num_reducers) {
+    std::vector<double> expanded;
+    expanded.reserve(static_cast<std::size_t>(target_reducers));
+    for (int i = 0; i < target_reducers; ++i)
+      expanded.push_back(
+          reduce_task_times[static_cast<std::size_t>(i % num_reducers)]);
+    reduce_task_times = std::move(expanded);
+  }
+  m.reduce_time_s = CostModel::makespan(reduce_task_times, reduce_slots);
+
+  // ---- write outputs ----
+  for (std::size_t i = 0; i < spec.outputs.size(); ++i) {
+    auto& t = out_emitter.tables()[i];
+    m.reduce.output_records += t->row_count();
+    m.reduce.output_bytes += t->byte_size();
+    m.dfs_write_bytes += t->byte_size() * cfg_.replication;
+    dfs_.write(spec.outputs[i].path, std::move(t));
+  }
+  return m;
+}
+
+}  // namespace ysmart

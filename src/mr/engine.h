@@ -1,0 +1,49 @@
+// Engine: executes MRJobSpecs for real against the simulated DFS.
+//
+// The engine is a faithful miniature of Hadoop's job execution (Section
+// II-A of the paper): one map task per input block, hash partitioning of
+// map output into R reduce partitions, per-partition sort, shuffle, merge,
+// grouped reduce invocation, and output materialization back to the DFS.
+// Map tasks run on a real thread pool (results are merged in task order,
+// so execution is deterministic), and every byte and record is counted so
+// the CostModel can derive simulated phase times.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "mr/cluster.h"
+#include "mr/cost_model.h"
+#include "mr/job.h"
+#include "mr/metrics.h"
+#include "storage/dfs.h"
+
+namespace ysmart {
+
+class Engine {
+ public:
+  /// Cap on in-simulator reduce partitions; real clusters with thousands
+  /// of reduce slots still run our scaled-down jobs in one wave, so the
+  /// modeled times are unchanged while memory stays bounded.
+  static constexpr int kMaxSimReducers = 32;
+
+  Engine(Dfs& dfs, ClusterConfig cfg);
+
+  /// Run one job: execute it over real data, write its outputs to the
+  /// DFS, and return measured + simulated metrics. A job that exceeds the
+  /// cluster's intermediate-disk capacity is marked failed (its outputs
+  /// are still produced so dependent results remain checkable; the
+  /// failure is what benchmarks report, mirroring the paper's DNFs).
+  JobMetrics run(const MRJobSpec& spec);
+
+  const ClusterConfig& cluster() const { return cfg_; }
+  Dfs& dfs() { return dfs_; }
+
+ private:
+  Dfs& dfs_;
+  ClusterConfig cfg_;
+  CostModel cost_;
+  Rng contention_rng_;
+};
+
+}  // namespace ysmart

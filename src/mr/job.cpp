@@ -1,0 +1,9 @@
+#include "mr/job.h"
+
+// Interface-only translation unit; keeps the vtables anchored here.
+
+namespace ysmart {
+
+// (intentionally empty)
+
+}  // namespace ysmart

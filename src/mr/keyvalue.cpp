@@ -1,0 +1,26 @@
+#include "mr/keyvalue.h"
+
+#include <bit>
+
+namespace ysmart {
+
+std::uint64_t kv_byte_size(const KeyValue& kv, int num_merged_jobs,
+                           TagEncoding enc) {
+  std::uint64_t n = row_byte_size(kv.key) + row_byte_size(kv.value) + 1;
+  if (num_merged_jobs > 1) {
+    const int excluded = std::popcount(kv.exclude);
+    const int included = num_merged_jobs - excluded;
+    // One byte per job id named by the chosen encoding, plus a length byte.
+    n += 1 + static_cast<std::uint64_t>(
+                 enc == TagEncoding::ExcludeList ? excluded : included);
+  }
+  return n;
+}
+
+bool kv_less(const KeyValue& a, const KeyValue& b) {
+  const auto c = compare_rows(a.key, b.key);
+  if (c != 0) return c < 0;
+  return a.source < b.source;
+}
+
+}  // namespace ysmart

@@ -1,0 +1,59 @@
+#include "mr/metrics.h"
+
+#include "common/strings.h"
+
+namespace ysmart {
+
+bool QueryMetrics::failed() const {
+  for (const auto& j : jobs)
+    if (j.failed) return true;
+  return false;
+}
+
+std::string QueryMetrics::fail_reason() const {
+  for (const auto& j : jobs)
+    if (j.failed) return j.job_name + ": " + j.fail_reason;
+  return "";
+}
+
+double QueryMetrics::total_time_s() const {
+  double t = 0;
+  for (const auto& j : jobs) t += j.total_time_s();
+  return t;
+}
+
+std::uint64_t QueryMetrics::total_map_input_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& j : jobs) n += j.map.input_bytes;
+  return n;
+}
+
+std::uint64_t QueryMetrics::total_shuffle_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& j : jobs) n += j.shuffle_bytes_wire;
+  return n;
+}
+
+std::uint64_t QueryMetrics::total_dfs_write_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& j : jobs) n += j.dfs_write_bytes;
+  return n;
+}
+
+std::string QueryMetrics::breakdown() const {
+  std::string out;
+  out += strf("%-28s %8s %10s %10s %10s %10s\n", "job", "tasks", "map(s)",
+              "reduce(s)", "sched(s)", "total(s)");
+  for (const auto& j : jobs) {
+    out += strf("%-28s %8llu %10.1f %10.1f %10.1f %10.1f%s\n",
+                j.job_name.c_str(),
+                static_cast<unsigned long long>(j.map.tasks), j.map_time_s,
+                j.reduce_time_s, j.sched_delay_s, j.total_time_s(),
+                j.failed ? ("  FAILED: " + j.fail_reason).c_str() : "");
+  }
+  out += strf("%-28s %8s %10s %10s %10s %10.1f\n", "TOTAL", "", "", "", "",
+              total_time_s());
+  return out;
+}
+
+}  // namespace ysmart

@@ -1,0 +1,75 @@
+// Execution metrics of simulated MapReduce jobs.
+//
+// The engine fills in the *measured* quantities (records, bytes, tasks)
+// from genuinely executed jobs; the cost model then derives the *simulated*
+// per-phase times. QueryMetrics aggregates a whole translated query (a
+// chain/DAG of jobs executed serially, as Hadoop drivers of the paper's
+// era did).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ysmart {
+
+struct PhaseMetrics {
+  std::uint64_t tasks = 0;
+  std::uint64_t input_records = 0;
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_records = 0;
+  std::uint64_t output_bytes = 0;
+};
+
+struct JobMetrics {
+  std::string job_name;
+
+  PhaseMetrics map;
+  PhaseMetrics reduce;
+
+  /// Bytes moved map->reduce, before and after optional compression.
+  std::uint64_t shuffle_bytes_raw = 0;
+  std::uint64_t shuffle_bytes_wire = 0;
+
+  /// Bytes of map input served from a non-local replica (network reads).
+  std::uint64_t remote_read_bytes = 0;
+
+  /// Bytes written to the DFS including replication copies.
+  std::uint64_t dfs_write_bytes = 0;
+
+  // ---- simulated times (seconds), filled by the CostModel ----
+  double sched_delay_s = 0;  // job-submission / scheduling latency
+  double map_time_s = 0;
+  double reduce_time_s = 0;  // includes shuffle fetch + merge + write
+
+  bool failed = false;
+  std::string fail_reason;
+
+  double total_time_s() const {
+    return sched_delay_s + map_time_s + reduce_time_s;
+  }
+};
+
+struct QueryMetrics {
+  std::vector<JobMetrics> jobs;
+
+  /// End-to-end elapsed time. Equals total_time_s() under serial job
+  /// submission (how Hive-era drivers ran, and the default); smaller
+  /// when the executor overlaps independent jobs (see
+  /// TranslatorProfile::concurrent_job_submission).
+  double wall_time_s = 0;
+
+  bool failed() const;
+  std::string fail_reason() const;
+
+  int job_count() const { return static_cast<int>(jobs.size()); }
+  double total_time_s() const;
+  std::uint64_t total_map_input_bytes() const;
+  std::uint64_t total_shuffle_bytes() const;
+  std::uint64_t total_dfs_write_bytes() const;
+
+  /// Multi-line per-job breakdown (the paper's figure-9-style table).
+  std::string breakdown() const;
+};
+
+}  // namespace ysmart

@@ -1,0 +1,27 @@
+// AST -> logical plan translation.
+//
+// Derived tables (sub-selects in FROM) are built recursively and their
+// output schemas re-qualified with the derived table's alias, exactly the
+// "flattened" form the paper feeds YSmart (nested queries rewritten with
+// first-aggregation-then-join). Comma-joins take their equi-join keys
+// from WHERE conjuncts; explicit [INNER|LEFT|RIGHT|FULL] JOIN takes them
+// from ON. Single-table conjuncts are pushed into the Scan (the paper's
+// "selection and projection executed by the job itself"); whatever the
+// equi-keys do not cover becomes the join's residual predicate.
+#pragma once
+
+#include "plan/plan.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace ysmart {
+
+/// Build the logical plan for `stmt`. Throws PlanError on semantic errors
+/// (unknown table/column, ambiguous reference, non-equi join with no key,
+/// grouping by a computed expression).
+PlanPtr build_plan(const SelectStmt& stmt, const Catalog& catalog);
+
+/// Convenience: parse + plan.
+PlanPtr plan_query(const std::string& sql, const Catalog& catalog);
+
+}  // namespace ysmart

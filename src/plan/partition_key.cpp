@@ -1,0 +1,113 @@
+#include "plan/partition_key.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ysmart {
+
+namespace {
+
+bool intersects(const Lineage& a, const Lineage& b) {
+  for (const auto& x : a)
+    if (b.count(x)) return true;
+  return false;
+}
+
+/// Exact bipartite perfect matching between the (small) class lists.
+bool can_match(const std::vector<Lineage>& a, const std::vector<Lineage>& b,
+               std::vector<int>& b_used, std::size_t i) {
+  if (i == a.size()) return true;
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    if (b_used[j]) continue;
+    if (!intersects(a[i], b[j])) continue;
+    b_used[j] = 1;
+    if (can_match(a, b, b_used, i + 1)) return true;
+    b_used[j] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PartitionKey::matches(const PartitionKey& other) const {
+  if (parts.size() != other.parts.size()) return false;
+  if (parts.empty()) return false;  // empty keys never correlate
+  std::vector<int> used(other.parts.size(), 0);
+  return can_match(parts, other.parts, used, 0);
+}
+
+std::string PartitionKey::to_string() const {
+  std::string s = "(";
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) s += ", ";
+    s += "{";
+    bool first = true;
+    for (const auto& id : parts[i]) {
+      if (!first) s += "|";
+      s += id.to_string();
+      first = false;
+    }
+    s += "}";
+  }
+  return s + ")";
+}
+
+PartitionKey join_partition_key(const PlanNode& join) {
+  check(join.kind == PlanKind::Join, "join_partition_key on non-Join");
+  check(join.children.size() == 2, "Join must have two children");
+  PartitionKey pk;
+  for (std::size_t i = 0; i < join.left_keys.size(); ++i) {
+    Lineage cls = join.children[0]->lineage_of(join.left_keys[i]);
+    const Lineage& r = join.children[1]->lineage_of(join.right_keys[i]);
+    cls.insert(r.begin(), r.end());
+    pk.parts.push_back(std::move(cls));
+    pk.columns.push_back(join.left_keys[i]);
+  }
+  return pk;
+}
+
+PartitionKey agg_full_partition_key(const PlanNode& agg) {
+  check(agg.kind == PlanKind::Agg, "agg_full_partition_key on non-Agg");
+  PartitionKey pk;
+  for (const auto& g : agg.group_cols) {
+    pk.parts.push_back(agg.children[0]->lineage_of(g));
+    pk.columns.push_back(g);
+  }
+  return pk;
+}
+
+std::vector<PartitionKey> agg_partition_key_candidates(const PlanNode& agg) {
+  constexpr std::size_t kMaxEnumeratedGroupCols = 4;
+  check(agg.kind == PlanKind::Agg, "candidates on non-Agg");
+  const auto& cols = agg.group_cols;
+  std::vector<PartitionKey> out;
+  if (cols.empty()) return out;
+
+  auto make_subset = [&](const std::vector<std::size_t>& idxs) {
+    PartitionKey pk;
+    for (auto i : idxs) {
+      pk.parts.push_back(agg.children[0]->lineage_of(cols[i]));
+      pk.columns.push_back(cols[i]);
+    }
+    return pk;
+  };
+
+  if (cols.size() <= kMaxEnumeratedGroupCols) {
+    for (std::size_t mask = 1; mask < (std::size_t{1} << cols.size()); ++mask) {
+      std::vector<std::size_t> idxs;
+      for (std::size_t i = 0; i < cols.size(); ++i)
+        if (mask & (std::size_t{1} << i)) idxs.push_back(i);
+      out.push_back(make_subset(idxs));
+    }
+  } else {
+    for (std::size_t i = 0; i < cols.size(); ++i) out.push_back(make_subset({i}));
+    std::vector<std::size_t> all(cols.size());
+    for (std::size_t i = 0; i < cols.size(); ++i) all[i] = i;
+    out.push_back(make_subset(all));
+  }
+  return out;
+}
+
+}  // namespace ysmart

@@ -1,0 +1,56 @@
+// Partition keys (Section IV-A of the paper).
+//
+// Every operation node executed by MapReduce partitions its map output by
+// some key; YSmart's correlations are defined over those keys. A
+// PartitionKey here is a set of key columns, each represented by its
+// *alias class*: the set of base-table columns it may stand for. The two
+// sides of an equi-join predicate form one class (paper footnote 3:
+// "the columns in the two sides of the equi-join predicate ... are just
+// aliases of the same partition key").
+//
+//   join  PK  = the equi-join column classes
+//   agg   PK  = any non-empty subset of the grouping columns; YSmart picks
+//               the candidate that connects the most correlations
+//               (Section IV-A's heuristic)
+//   sort  PK  = none (SORT jobs use range/single-reducer ordering)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+
+namespace ysmart {
+
+struct PartitionKey {
+  /// One alias class per key column, canonically sorted.
+  std::vector<Lineage> parts;
+
+  /// Column names (in the node's child/base schema) the map phase must
+  /// extract to build this key, positionally parallel to `parts`.
+  std::vector<std::string> columns;
+
+  bool empty() const { return parts.empty(); }
+
+  /// True if the two keys partition data identically: same arity and the
+  /// alias classes can be perfectly matched so every pair intersects.
+  bool matches(const PartitionKey& other) const;
+
+  std::string to_string() const;
+};
+
+/// PK of a Join node (throws if called on another kind).
+PartitionKey join_partition_key(const PlanNode& join);
+
+/// All candidate PKs of an Agg node: every non-empty subset of grouping
+/// columns when there are at most kMaxEnumeratedGroupCols of them,
+/// otherwise each single column plus the full set. Candidates whose
+/// columns have no base-table lineage (purely computed) are kept too —
+/// they simply will not match anything.
+std::vector<PartitionKey> agg_partition_key_candidates(const PlanNode& agg);
+
+/// The default (non-correlation-aware) PK of an Agg: all group columns.
+/// This is what a one-operation-to-one-job translation uses.
+PartitionKey agg_full_partition_key(const PlanNode& agg);
+
+}  // namespace ysmart

@@ -1,0 +1,126 @@
+#include "plan/plan.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ysmart {
+
+std::string AggCall::to_string() const {
+  std::string s = func + "(";
+  if (distinct) s += "distinct ";
+  if (star) s += "*";
+  if (arg) s += arg->to_string();
+  return s + ")";
+}
+
+Schema PlanNode::agg_internal_schema() const {
+  check(kind == PlanKind::Agg, "agg_internal_schema on non-Agg node");
+  Schema s;
+  check(children.size() == 1, "Agg must have one child");
+  const Schema& in = children[0]->output_schema;
+  for (const auto& g : group_cols) {
+    const auto idx = in.index_of(g);
+    s.add(in.at(idx).name, in.at(idx).type);
+  }
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    // count* -> Int; min/max keep arg type loosely as Double unless we can
+    // tell it is Int; sum/avg -> Double. Types are advisory only (Values
+    // carry their own types at runtime).
+    ValueType t = ValueType::Double;
+    if (aggs[i].func == "count") t = ValueType::Int;
+    s.add("$agg" + std::to_string(i), t);
+  }
+  return s;
+}
+
+std::set<std::string> PlanNode::input_relations() const {
+  std::set<std::string> out;
+  if (kind == PlanKind::Scan) {
+    out.insert(table);
+    return out;
+  }
+  for (const auto& c : children) {
+    auto sub = c->input_relations();
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+const Lineage& PlanNode::lineage_of(const std::string& name) const {
+  static const Lineage kEmpty;
+  auto idx = output_schema.find(name);
+  if (!idx) return kEmpty;
+  return output_lineage.at(*idx);
+}
+
+std::string PlanNode::to_string() const {
+  switch (kind) {
+    case PlanKind::Scan: {
+      std::string s = "SCAN(" + table;
+      if (alias != table && !alias.empty()) s += " AS " + alias;
+      if (filter) s += ", filter=" + filter->to_string();
+      return s + ")";
+    }
+    case PlanKind::SP: {
+      std::string s = label + " SP(";
+      if (filter) s += "filter=" + filter->to_string();
+      return s + ")";
+    }
+    case PlanKind::Join: {
+      std::string s = label + " " +
+                      std::string(join_type == JoinType::Inner  ? "JOIN"
+                                  : join_type == JoinType::Left ? "LEFT OUTER JOIN"
+                                  : join_type == JoinType::Right
+                                      ? "RIGHT OUTER JOIN"
+                                      : "FULL OUTER JOIN") +
+                      "(on ";
+      for (std::size_t i = 0; i < left_keys.size(); ++i) {
+        if (i) s += " and ";
+        s += left_keys[i] + "=" + right_keys[i];
+      }
+      if (filter) s += ", residual=" + filter->to_string();
+      return s + ")";
+    }
+    case PlanKind::Agg: {
+      std::string s = label + " AGG(group by " + join(group_cols, ",");
+      s += "; ";
+      for (std::size_t i = 0; i < aggs.size(); ++i) {
+        if (i) s += ", ";
+        s += aggs[i].to_string();
+      }
+      return s + ")";
+    }
+    case PlanKind::Sort: {
+      std::string s = label + " SORT(";
+      for (std::size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i) s += ", ";
+        s += sort_keys[i].expr->to_string();
+        if (sort_keys[i].desc) s += " desc";
+      }
+      if (limit) s += " limit " + std::to_string(*limit);
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+namespace {
+void walk(const PlanPtr& node, std::vector<PlanNode*>& out, bool ops_only) {
+  for (const auto& c : node->children) walk(c, out, ops_only);
+  if (!ops_only || node->is_operation()) out.push_back(node.get());
+}
+}  // namespace
+
+std::vector<PlanNode*> post_order_operations(const PlanPtr& root) {
+  std::vector<PlanNode*> out;
+  walk(root, out, /*ops_only=*/true);
+  return out;
+}
+
+std::vector<PlanNode*> post_order_all(const PlanPtr& root) {
+  std::vector<PlanNode*> out;
+  walk(root, out, /*ops_only=*/false);
+  return out;
+}
+
+}  // namespace ysmart

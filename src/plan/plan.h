@@ -1,0 +1,129 @@
+// Logical query plan: the tree YSmart's correlation analysis runs on.
+//
+// Node kinds map one-to-one onto the paper's primitive job types
+// (Section V-A): Scan carries selection/projection on a base relation
+// (folded into the consuming job's map phase, or a standalone SP job),
+// Join is an equi-join (inner/left/right/full outer) with an optional
+// residual predicate, Agg is grouping + aggregation with post-aggregation
+// projection expressions, Sort is ORDER BY (+ LIMIT).
+//
+// Every output column carries a *lineage*: the set of (base-table, column)
+// origins it may alias. Lineage is what lets partition keys compare equal
+// across operations — e.g. the two sides of `p_partkey = l_partkey` are
+// "aliases of the same partition key" (paper footnote 3), and two
+// instances of a self-joined table share lineage by construction.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "sql/ast.h"
+
+namespace ysmart {
+
+/// Identity of a base-table column, ignoring instance aliases: both
+/// c1.uid and c2.uid of self-joined CLICKS resolve to ("clicks","uid").
+struct ColumnId {
+  std::string table;
+  std::string column;
+  auto operator<=>(const ColumnId&) const = default;
+  std::string to_string() const { return table + "." + column; }
+};
+
+/// The lineage of one output column: every base column it aliases.
+/// Columns computed by expressions/aggregates have empty lineage.
+using Lineage = std::set<ColumnId>;
+
+enum class PlanKind {
+  Scan,  // base-relation access with pushed-down selection/projection
+  SP,    // standalone selection/projection over a non-base input
+  Join,
+  Agg,
+  Sort,
+};
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+struct AggCall {
+  std::string func;  // count / sum / avg / min / max
+  ExprPtr arg;       // null when star
+  bool distinct = false;
+  bool star = false;
+
+  std::string to_string() const;
+};
+
+struct SortKey {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+struct PlanNode {
+  PlanKind kind{};
+  std::string label;  // "JOIN1", "AGG2", ... assigned by the builder
+  std::vector<PlanPtr> children;
+
+  /// What this node produces. Column names are qualified when the node
+  /// sits under a table/derived-table alias.
+  Schema output_schema;
+  std::vector<Lineage> output_lineage;  // parallel to output_schema
+
+  // ---- Scan ----
+  std::string table;  // base table name
+  std::string alias;  // instance alias ("c1", "c2", ...)
+
+  /// Selection predicate. For Scan it binds against the base-table schema
+  /// and runs before projection; for Join it is the residual predicate
+  /// over the concatenation of both children's outputs (everything the
+  /// equi-keys do not cover, plus post-outer-join WHERE conjuncts); for
+  /// Agg it is the HAVING predicate, evaluated over the *output* schema.
+  ExprPtr filter;
+
+  /// Projection expressions producing output_schema. For Scan they bind
+  /// against the (alias-qualified) base schema; for Join against the
+  /// concatenated child schemas; for Agg against the internal schema
+  /// [group columns..., aggregate results...]; Sort has none (identity).
+  std::vector<ExprPtr> projections;
+
+  // ---- Join ----
+  JoinType join_type = JoinType::Inner;
+  /// Equi-join keys: column names resolvable in the left / right child's
+  /// output schema, positionally paired.
+  std::vector<std::string> left_keys;
+  std::vector<std::string> right_keys;
+
+  // ---- Agg ----
+  std::vector<std::string> group_cols;  // names in the child's output schema
+  std::vector<AggCall> aggs;
+  /// Names of the internal schema the projections bind against:
+  /// group columns keep their names, aggregate i is "$agg<i>".
+  Schema agg_internal_schema() const;
+
+  // ---- Sort ----
+  std::vector<SortKey> sort_keys;
+  std::optional<std::int64_t> limit;
+
+  bool is_operation() const { return kind != PlanKind::Scan; }
+
+  /// All base tables read anywhere in this subtree (the node's "input
+  /// relation set" used by the Input Correlation definition).
+  std::set<std::string> input_relations() const;
+
+  /// Lineage of the output column named `name`; empty set if computed.
+  const Lineage& lineage_of(const std::string& name) const;
+
+  std::string to_string() const;  // one-line summary of this node
+};
+
+/// Post-order (children first) walk of the operation nodes (non-Scan).
+std::vector<PlanNode*> post_order_operations(const PlanPtr& root);
+
+/// Post-order walk of all nodes including scans.
+std::vector<PlanNode*> post_order_all(const PlanPtr& root);
+
+}  // namespace ysmart

@@ -1,0 +1,67 @@
+#include "plan/printer.h"
+
+#include "plan/partition_key.h"
+
+namespace ysmart {
+
+namespace {
+
+void print_node(const PlanPtr& node, int depth, std::string& out) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out += node->to_string();
+  if (node->kind == PlanKind::Join) {
+    out += "  PK=" + join_partition_key(*node).to_string();
+  } else if (node->kind == PlanKind::Agg && !node->group_cols.empty()) {
+    out += "  PK(full)=" + agg_full_partition_key(*node).to_string();
+  }
+  out += "\n";
+  for (const auto& c : node->children) print_node(c, depth + 1, out);
+}
+
+}  // namespace
+
+std::string print_plan(const PlanPtr& root) {
+  std::string out;
+  print_node(root, 0, out);
+  return out;
+}
+
+namespace {
+
+std::string dot_escape(std::string s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+int dot_node(const PlanPtr& node, std::string& out, int& counter) {
+  const int id = counter++;
+  std::string label = node->to_string();
+  if (node->kind == PlanKind::Join)
+    label += "\\nPK=" + join_partition_key(*node).to_string();
+  else if (node->kind == PlanKind::Agg && !node->group_cols.empty())
+    label += "\\nPK(full)=" + agg_full_partition_key(*node).to_string();
+  const char* shape = node->kind == PlanKind::Scan ? "ellipse" : "box";
+  out += "  n" + std::to_string(id) + " [shape=" + shape + ", label=\"" +
+         dot_escape(label) + "\"];\n";
+  for (const auto& c : node->children) {
+    const int child = dot_node(c, out, counter);
+    out += "  n" + std::to_string(child) + " -> n" + std::to_string(id) + ";\n";
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string plan_to_dot(const PlanPtr& root) {
+  std::string out = "digraph plan {\n  rankdir=BT;\n";
+  int counter = 0;
+  dot_node(root, out, counter);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ysmart

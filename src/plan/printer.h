@@ -1,0 +1,18 @@
+// Plan-tree pretty printer (the figures' plan trees, in ASCII).
+#pragma once
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace ysmart {
+
+/// Multi-line indented rendering of the plan tree rooted at `root`,
+/// including each operation's partition-key information.
+std::string print_plan(const PlanPtr& root);
+
+/// Graphviz DOT rendering of the plan tree (operations as boxes labeled
+/// with their partition keys, scans as ellipses); feed to `dot -Tsvg`.
+std::string plan_to_dot(const PlanPtr& root);
+
+}  // namespace ysmart

@@ -1,0 +1,199 @@
+#include "plan/prune.h"
+
+#include <set>
+
+#include "common/error.h"
+
+namespace ysmart {
+
+namespace {
+
+void collect_refs(const ExprPtr& e, std::vector<std::string>& out) {
+  if (!e) return;
+  if (e->kind == ExprKind::ColumnRef) out.push_back(e->column);
+  for (const auto& a : e->args) collect_refs(a, out);
+}
+
+/// Resolve `name` in `schema` and add its canonical stored name to `out`;
+/// silently skips names that do not resolve (they belong to a sibling).
+void add_resolved(const Schema& schema, const std::string& name,
+                  std::set<std::string>& out) {
+  try {
+    auto idx = schema.find(name);
+    if (idx) out.insert(schema.at(*idx).name);
+  } catch (const PlanError&) {
+    // Ambiguous within this child: conservatively keep both candidates by
+    // keeping everything that unqualifies to the same suffix.
+    for (const auto& c : schema.columns())
+      if (unqualify(c.name) == unqualify(name)) out.insert(c.name);
+  }
+}
+
+void add_expr_refs(const Schema& schema, const ExprPtr& e,
+                   std::set<std::string>& out) {
+  std::vector<std::string> refs;
+  collect_refs(e, refs);
+  for (const auto& r : refs) add_resolved(schema, r, out);
+}
+
+void prune(const PlanPtr& node, const std::set<std::string>& needed);
+
+/// Keep only the output columns named in `keep` (by canonical name).
+void shrink_outputs(PlanNode& n, const std::set<std::string>& keep) {
+  Schema schema;
+  std::vector<Lineage> lineage;
+  std::vector<ExprPtr> projections;
+  const bool had_projections = !n.projections.empty();
+  for (std::size_t i = 0; i < n.output_schema.size(); ++i) {
+    if (!keep.count(n.output_schema.at(i).name)) continue;
+    schema.add(n.output_schema.at(i).name, n.output_schema.at(i).type);
+    lineage.push_back(n.output_lineage[i]);
+    if (had_projections) projections.push_back(n.projections[i]);
+  }
+  n.output_schema = std::move(schema);
+  n.output_lineage = std::move(lineage);
+  n.projections = std::move(projections);
+}
+
+void prune(const PlanPtr& node, const std::set<std::string>& needed) {
+  switch (node->kind) {
+    case PlanKind::Scan: {
+      // Materialize an explicit projection to exactly the needed columns.
+      // (The filter binds against the full base schema and is evaluated
+      // before projection, so its references need not be kept.)
+      Schema schema;
+      std::vector<Lineage> lineage;
+      std::vector<ExprPtr> projections;
+      const bool had_projections = !node->projections.empty();
+      for (std::size_t i = 0; i < node->output_schema.size(); ++i) {
+        const auto& name = node->output_schema.at(i).name;
+        if (!needed.count(name)) continue;
+        schema.add(name, node->output_schema.at(i).type);
+        lineage.push_back(node->output_lineage[i]);
+        projections.push_back(had_projections ? node->projections[i]
+                                              : Expr::make_column(name));
+      }
+      node->output_schema = std::move(schema);
+      node->output_lineage = std::move(lineage);
+      node->projections = std::move(projections);
+      return;
+    }
+    case PlanKind::SP: {
+      const Schema& child = node->children[0]->output_schema;
+      std::set<std::string> child_needed;
+      add_expr_refs(child, node->filter, child_needed);
+      if (node->projections.empty()) {
+        // Identity: needed columns pass straight through.
+        for (const auto& n : needed) add_resolved(child, n, child_needed);
+        prune(node->children[0], child_needed);
+        node->output_schema = node->children[0]->output_schema;
+        node->output_lineage = node->children[0]->output_lineage;
+      } else {
+        shrink_outputs(*node, needed);
+        for (const auto& p : node->projections)
+          add_expr_refs(child, p, child_needed);
+        prune(node->children[0], child_needed);
+      }
+      return;
+    }
+    case PlanKind::Join: {
+      const Schema& ls = node->children[0]->output_schema;
+      const Schema& rs = node->children[1]->output_schema;
+      std::set<std::string> lneed, rneed;
+      for (const auto& k : node->left_keys) add_resolved(ls, k, lneed);
+      for (const auto& k : node->right_keys) add_resolved(rs, k, rneed);
+      auto add_both = [&](const ExprPtr& e) {
+        std::vector<std::string> refs;
+        collect_refs(e, refs);
+        for (const auto& r : refs) {
+          // A reference belongs to whichever child resolves it.
+          bool in_left = false;
+          try {
+            in_left = ls.find(r).has_value();
+          } catch (const PlanError&) {
+            in_left = true;
+          }
+          if (in_left)
+            add_resolved(ls, r, lneed);
+          else
+            add_resolved(rs, r, rneed);
+        }
+      };
+      add_both(node->filter);
+      if (node->projections.empty()) {
+        for (const auto& n : needed) {
+          bool in_left = false;
+          try {
+            in_left = ls.find(n).has_value();
+          } catch (const PlanError&) {
+            in_left = true;
+          }
+          if (in_left)
+            add_resolved(ls, n, lneed);
+          else
+            add_resolved(rs, n, rneed);
+        }
+      } else {
+        shrink_outputs(*node, needed);
+        for (const auto& p : node->projections) add_both(p);
+      }
+      prune(node->children[0], lneed);
+      prune(node->children[1], rneed);
+      if (node->projections.empty()) {
+        // Recompute the identity output from the pruned children and
+        // re-merge the equi-key alias classes.
+        node->output_schema = Schema::concat(node->children[0]->output_schema,
+                                             node->children[1]->output_schema);
+        node->output_lineage = node->children[0]->output_lineage;
+        node->output_lineage.insert(node->output_lineage.end(),
+                                    node->children[1]->output_lineage.begin(),
+                                    node->children[1]->output_lineage.end());
+        const Schema& nls = node->children[0]->output_schema;
+        const Schema& nrs = node->children[1]->output_schema;
+        for (std::size_t i = 0; i < node->left_keys.size(); ++i) {
+          const auto li = nls.index_of(node->left_keys[i]);
+          const auto ri = nrs.index_of(node->right_keys[i]);
+          Lineage merged = node->output_lineage[li];
+          const Lineage& rl = node->output_lineage[nls.size() + ri];
+          merged.insert(rl.begin(), rl.end());
+          node->output_lineage[li] = merged;
+          node->output_lineage[nls.size() + ri] = merged;
+        }
+      }
+      return;
+    }
+    case PlanKind::Agg: {
+      const Schema& child = node->children[0]->output_schema;
+      std::set<std::string> child_needed;
+      for (const auto& g : node->group_cols) add_resolved(child, g, child_needed);
+      for (const auto& a : node->aggs)
+        if (a.arg) add_expr_refs(child, a.arg, child_needed);
+      // Aggregation projections are expressions over the internal schema,
+      // not the child, so they add nothing to child_needed. Keep all
+      // output columns (they are cheap scalars).
+      prune(node->children[0], child_needed);
+      return;
+    }
+    case PlanKind::Sort: {
+      const Schema& child = node->children[0]->output_schema;
+      std::set<std::string> child_needed;
+      for (const auto& n : needed) add_resolved(child, n, child_needed);
+      for (const auto& k : node->sort_keys)
+        add_expr_refs(child, k.expr, child_needed);
+      prune(node->children[0], child_needed);
+      node->output_schema = node->children[0]->output_schema;
+      node->output_lineage = node->children[0]->output_lineage;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void prune_plan(const PlanPtr& root) {
+  std::set<std::string> all;
+  for (const auto& c : root->output_schema.columns()) all.insert(c.name);
+  prune(root, all);
+}
+
+}  // namespace ysmart

@@ -1,0 +1,19 @@
+// Projection pruning: narrow every node's output to the columns its
+// consumer actually references.
+//
+// The paper's savings are measured in map-output / shuffle bytes, so the
+// translated jobs must not ship whole base rows when only two columns are
+// needed. This pass walks the plan top-down, computing the set of needed
+// output columns per node (join keys, residual/filter references, group
+// and aggregate arguments, sort keys, and the root's full output), and
+// rewrites scans/joins/aggregations to produce exactly those.
+#pragma once
+
+#include "plan/plan.h"
+
+namespace ysmart {
+
+/// Prune in place. Idempotent.
+void prune_plan(const PlanPtr& root);
+
+}  // namespace ysmart

@@ -1,0 +1,53 @@
+// RefDb: single-process pipelined execution of a logical plan.
+//
+// Two roles (see DESIGN.md):
+//  1. Correctness oracle — every MapReduce execution in the test suite is
+//     differentially compared against RefDb on the same plan.
+//  2. The paper's "ideal parallel PostgreSQL" baseline (Section VII-D):
+//     the authors ran PostgreSQL on 1/4-size data to simulate a 4-way
+//     parallel DBMS; we model the DBMS side as an in-memory pipelined
+//     engine whose simulated time is measured work / an effective
+//     scan+process bandwidth, divided by the assumed parallelism.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "plan/plan.h"
+#include "storage/table.h"
+
+namespace ysmart {
+
+/// Supplies base-table contents by name.
+using TableSource =
+    std::function<std::shared_ptr<const Table>(const std::string&)>;
+
+/// Execute `plan` and return the result table (schema = plan output).
+Table execute_plan_ref(const PlanPtr& plan, const TableSource& tables);
+
+/// Cost model for the "ideal parallel DBMS" comparison.
+struct DbmsCostConfig {
+  /// The paper assumed an ideal 4x speedup from 4 cores by shrinking the
+  /// data to 1/4; `parallelism` plays that role here.
+  double parallelism = 4.0;
+  /// Effective single-stream scan + process bandwidth of the DBMS.
+  double scan_mb_per_s = 55.0;
+  /// Per intermediate-row pipeline cost (hash probe/sort amortized).
+  double row_cpu_us = 0.35;
+  /// Multiplier representing how many base bytes stand for full-scale
+  /// bytes (use the same sim_scale as the MapReduce cluster).
+  double sim_scale = 1.0;
+};
+
+struct DbmsRunResult {
+  Table result;
+  double sim_seconds = 0;
+  std::uint64_t bytes_scanned = 0;
+  std::uint64_t rows_processed = 0;
+};
+
+/// Execute and also estimate the ideal-parallel-DBMS time.
+DbmsRunResult execute_plan_dbms(const PlanPtr& plan, const TableSource& tables,
+                                const DbmsCostConfig& cfg);
+
+}  // namespace ysmart

@@ -1,0 +1,148 @@
+#include "sql/ast.h"
+
+#include "common/strings.h"
+
+namespace ysmart {
+
+ExprPtr Expr::make_literal(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::Literal;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::make_column(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::ColumnRef;
+  e->column = to_lower(std::move(name));
+  return e;
+}
+
+ExprPtr Expr::make_unary(std::string op, ExprPtr a) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::Unary;
+  e->op = std::move(op);
+  e->args = {std::move(a)};
+  return e;
+}
+
+ExprPtr Expr::make_binary(std::string op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::Binary;
+  e->op = std::move(op);
+  e->args = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr Expr::make_func(std::string name, std::vector<ExprPtr> args,
+                        bool distinct, bool star) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::FuncCall;
+  e->op = to_lower(std::move(name));
+  e->args = std::move(args);
+  e->distinct = distinct;
+  e->star = star;
+  return e;
+}
+
+ExprPtr Expr::make_is_null(ExprPtr a, bool negated) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::IsNull;
+  e->args = {std::move(a)};
+  e->negated = negated;
+  return e;
+}
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case ExprKind::Literal:
+      return literal.type() == ValueType::String ? "'" + literal.to_string() + "'"
+                                                 : literal.to_string();
+    case ExprKind::ColumnRef:
+      return column;
+    case ExprKind::Unary:
+      return "(" + op + " " + args[0]->to_string() + ")";
+    case ExprKind::Binary:
+      return "(" + args[0]->to_string() + " " + op + " " +
+             args[1]->to_string() + ")";
+    case ExprKind::FuncCall: {
+      std::string s = op + "(";
+      if (distinct) s += "distinct ";
+      if (star) s += "*";
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i) s += ", ";
+        s += args[i]->to_string();
+      }
+      return s + ")";
+    }
+    case ExprKind::IsNull:
+      return "(" + args[0]->to_string() + (negated ? " is not null" : " is null") +
+             ")";
+  }
+  return "?";
+}
+
+bool is_aggregate_function(const std::string& name) {
+  return name == "count" || name == "sum" || name == "avg" || name == "min" ||
+         name == "max";
+}
+
+bool contains_aggregate(const Expr& e) {
+  if (e.kind == ExprKind::FuncCall && is_aggregate_function(e.op)) return true;
+  for (const auto& a : e.args)
+    if (a && contains_aggregate(*a)) return true;
+  return false;
+}
+
+std::string SelectStmt::to_string() const {
+  std::string s = "SELECT ";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) s += ", ";
+    if (items[i].star) {
+      s += "*";
+      continue;
+    }
+    s += items[i].expr->to_string();
+    if (!items[i].alias.empty()) s += " AS " + items[i].alias;
+  }
+  s += " FROM ";
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const auto& t = from[i];
+    if (i) {
+      switch (t.join) {
+        case JoinType::None: s += ", "; break;
+        case JoinType::Inner: s += " JOIN "; break;
+        case JoinType::Left: s += " LEFT OUTER JOIN "; break;
+        case JoinType::Right: s += " RIGHT OUTER JOIN "; break;
+        case JoinType::Full: s += " FULL OUTER JOIN "; break;
+      }
+    }
+    if (t.is_subquery())
+      s += "(" + t.subquery->to_string() + ")";
+    else
+      s += t.table;
+    if (!t.alias.empty()) s += " AS " + t.alias;
+    if (t.join_cond) s += " ON " + t.join_cond->to_string();
+  }
+  if (where) s += " WHERE " + where->to_string();
+  if (!group_by.empty()) {
+    s += " GROUP BY ";
+    for (std::size_t i = 0; i < group_by.size(); ++i) {
+      if (i) s += ", ";
+      s += group_by[i]->to_string();
+    }
+  }
+  if (having) s += " HAVING " + having->to_string();
+  if (!order_by.empty()) {
+    s += " ORDER BY ";
+    for (std::size_t i = 0; i < order_by.size(); ++i) {
+      if (i) s += ", ";
+      s += order_by[i].expr->to_string();
+      if (order_by[i].desc) s += " DESC";
+    }
+  }
+  if (limit) s += " LIMIT " + std::to_string(*limit);
+  return s;
+}
+
+}  // namespace ysmart

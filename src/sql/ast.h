@@ -1,0 +1,98 @@
+// Abstract syntax tree for the supported SQL subset (the operations the
+// paper targets, Section IV): selection, projection, aggregation with
+// grouping, sorting, and equi-join (inner / left / right / full outer),
+// over base tables and aliased derived tables (sub-selects in FROM).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ysmart {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class ExprKind {
+  Literal,    // constant Value
+  ColumnRef,  // possibly qualified column name
+  Unary,      // op in {"-", "not"}
+  Binary,     // op in {"+","-","*","/","=","<>","<","<=",">",">=","and","or"}
+  FuncCall,   // op = function name; aggregates: count/sum/avg/min/max
+  IsNull,     // args[0] IS [NOT] NULL; `negated` distinguishes
+};
+
+struct Expr {
+  ExprKind kind{};
+  Value literal;        // Literal
+  std::string column;   // ColumnRef (lower-cased, may be "alias.col")
+  std::string op;       // Unary/Binary/FuncCall
+  bool distinct = false;  // FuncCall: count(DISTINCT x)
+  bool star = false;      // FuncCall: count(*)
+  bool negated = false;   // IsNull: IS NOT NULL
+  std::vector<ExprPtr> args;
+
+  static ExprPtr make_literal(Value v);
+  static ExprPtr make_column(std::string name);
+  static ExprPtr make_unary(std::string op, ExprPtr a);
+  static ExprPtr make_binary(std::string op, ExprPtr a, ExprPtr b);
+  static ExprPtr make_func(std::string name, std::vector<ExprPtr> args,
+                           bool distinct = false, bool star = false);
+  static ExprPtr make_is_null(ExprPtr a, bool negated);
+
+  /// Round-trippable rendering (used by plan printing and tests).
+  std::string to_string() const;
+};
+
+/// True if `name` is one of the supported aggregate functions.
+bool is_aggregate_function(const std::string& name);
+
+/// True if the expression contains an aggregate call anywhere.
+bool contains_aggregate(const Expr& e);
+
+struct SelectStmt;
+
+enum class JoinType { None, Inner, Left, Right, Full };
+
+/// One entry in a FROM clause. Entries after the first either joined the
+/// preceding ones with a comma (JoinType::None; predicates live in WHERE)
+/// or with explicit JOIN ... ON syntax.
+struct TableRef {
+  std::string table;                    // base table name, or empty
+  std::shared_ptr<SelectStmt> subquery; // derived table, or null
+  std::string alias;                    // required for derived tables
+  JoinType join = JoinType::None;
+  ExprPtr join_cond;                    // ON condition for explicit joins
+
+  bool is_subquery() const { return subquery != nullptr; }
+};
+
+struct SelectItem {
+  ExprPtr expr;       // null when star
+  std::string alias;  // empty if none given
+  bool star = false;  // SELECT *
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // null if absent
+  std::vector<ExprPtr> group_by;
+  /// HAVING predicate; must reference output columns (select aliases or
+  /// grouping columns) — raw aggregate calls are not supported here.
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<std::int64_t> limit;
+
+  std::string to_string() const;
+};
+
+}  // namespace ysmart

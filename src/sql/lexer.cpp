@@ -1,0 +1,91 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ysmart {
+
+bool Token::is_ident(const char* kw) const {
+  return type == TokenType::Ident && text == to_lower(kw);
+}
+
+bool Token::is_symbol(const char* s) const {
+  return type == TokenType::Symbol && text == s;
+}
+
+std::vector<Token> lex(const std::string& sql) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+  auto peek = [&](std::size_t k) -> char { return i + k < n ? sql[i + k] : '\0'; };
+
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_'))
+        ++i;
+      out.push_back({TokenType::Ident, to_lower(sql.substr(start, i - start)),
+                     start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (sql[i] == '.' && !seen_dot))) {
+        if (sql[i] == '.') seen_dot = true;
+        ++i;
+      }
+      out.push_back({TokenType::Number, sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string body;
+      while (i < n && sql[i] != '\'') {
+        body.push_back(sql[i]);
+        ++i;
+      }
+      if (i >= n)
+        throw ParseError("unterminated string literal at offset " +
+                         std::to_string(start));
+      ++i;  // closing quote
+      out.push_back({TokenType::String, std::move(body), start});
+      continue;
+    }
+    // Two-character operators first.
+    const char d = peek(1);
+    if ((c == '<' && (d == '=' || d == '>')) || (c == '>' && d == '=') ||
+        (c == '!' && d == '=')) {
+      std::string sym = sql.substr(i, 2);
+      if (sym == "!=") sym = "<>";
+      out.push_back({TokenType::Symbol, sym, start});
+      i += 2;
+      continue;
+    }
+    if (std::string("(),.*=<>+-/;").find(c) != std::string::npos) {
+      out.push_back({TokenType::Symbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    throw ParseError(std::string("unexpected character '") + c +
+                     "' at offset " + std::to_string(i));
+  }
+  out.push_back({TokenType::End, "", n});
+  return out;
+}
+
+}  // namespace ysmart

@@ -1,0 +1,30 @@
+// SQL lexer: turns query text into a token stream for the parser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ysmart {
+
+enum class TokenType {
+  Ident,    // identifiers and keywords (text kept lower-cased)
+  Number,   // integer or decimal literal
+  String,   // '...' literal (text holds the unquoted body)
+  Symbol,   // punctuation / operator, e.g. "," "(" ")" "<=" "<>"
+  End,
+};
+
+struct Token {
+  TokenType type = TokenType::End;
+  std::string text;
+  std::size_t pos = 0;  // byte offset into the source, for error messages
+
+  bool is_ident(const char* kw) const;
+  bool is_symbol(const char* s) const;
+};
+
+/// Tokenize `sql`; throws ParseError on an unexpected character or an
+/// unterminated string literal. Always ends with an End token.
+std::vector<Token> lex(const std::string& sql);
+
+}  // namespace ysmart

@@ -1,0 +1,300 @@
+#include "sql/parser.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace ysmart {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& sql) : toks_(lex(sql)) {}
+
+  std::shared_ptr<SelectStmt> parse_statement() {
+    auto stmt = parse_select();
+    accept_symbol(";");
+    expect_end();
+    return stmt;
+  }
+
+  ExprPtr parse_bare_expression() {
+    auto e = parse_expr();
+    expect_end();
+    return e;
+  }
+
+ private:
+  // ---- token helpers ----
+  const Token& cur() const { return toks_[i_]; }
+  const Token& peek(std::size_t k = 1) const {
+    return toks_[std::min(i_ + k, toks_.size() - 1)];
+  }
+  void advance() { if (i_ + 1 < toks_.size()) ++i_; }
+
+  bool accept_ident(const char* kw) {
+    if (cur().is_ident(kw)) { advance(); return true; }
+    return false;
+  }
+  bool accept_symbol(const char* s) {
+    if (cur().is_symbol(s)) { advance(); return true; }
+    return false;
+  }
+  void expect_ident(const char* kw) {
+    if (!accept_ident(kw)) fail(std::string("expected keyword ") + to_upper(kw));
+  }
+  void expect_symbol(const char* s) {
+    if (!accept_symbol(s)) fail(std::string("expected '") + s + "'");
+  }
+  void expect_end() {
+    if (cur().type != TokenType::End) fail("trailing input");
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg + " near offset " + std::to_string(cur().pos) +
+                     (cur().text.empty() ? "" : " (at '" + cur().text + "')"));
+  }
+  std::string expect_name() {
+    if (cur().type != TokenType::Ident) fail("expected identifier");
+    std::string s = cur().text;
+    advance();
+    return s;
+  }
+
+  // ---- grammar ----
+  std::shared_ptr<SelectStmt> parse_select() {
+    expect_ident("select");
+    auto stmt = std::make_shared<SelectStmt>();
+    // select list
+    do {
+      SelectItem item;
+      if (accept_symbol("*")) {
+        item.star = true;
+      } else {
+        item.expr = parse_expr();
+        if (accept_ident("as")) item.alias = expect_name();
+        else if (cur().type == TokenType::Ident && !at_clause_keyword())
+          item.alias = expect_name();
+      }
+      stmt->items.push_back(std::move(item));
+    } while (accept_symbol(","));
+
+    expect_ident("from");
+    stmt->from.push_back(parse_table_ref());
+    while (true) {
+      if (accept_symbol(",")) {
+        auto t = parse_table_ref();
+        t.join = JoinType::None;
+        stmt->from.push_back(std::move(t));
+        continue;
+      }
+      JoinType jt;
+      if (cur().is_ident("join")) {
+        advance();
+        jt = JoinType::Inner;
+      } else if (cur().is_ident("inner") && peek().is_ident("join")) {
+        advance();
+        advance();
+        jt = JoinType::Inner;
+      } else if (cur().is_ident("left") || cur().is_ident("right") ||
+                 cur().is_ident("full")) {
+        jt = cur().is_ident("left")    ? JoinType::Left
+             : cur().is_ident("right") ? JoinType::Right
+                                       : JoinType::Full;
+        advance();
+        accept_ident("outer");
+        expect_ident("join");
+      } else {
+        break;
+      }
+      auto t = parse_table_ref();
+      t.join = jt;
+      expect_ident("on");
+      t.join_cond = parse_expr();
+      stmt->from.push_back(std::move(t));
+    }
+
+    if (accept_ident("where")) stmt->where = parse_expr();
+    if (accept_ident("group")) {
+      expect_ident("by");
+      do stmt->group_by.push_back(parse_expr());
+      while (accept_symbol(","));
+    }
+    if (accept_ident("having")) stmt->having = parse_expr();
+    if (accept_ident("order")) {
+      expect_ident("by");
+      do {
+        OrderItem o;
+        o.expr = parse_expr();
+        if (accept_ident("desc")) o.desc = true;
+        else accept_ident("asc");
+        stmt->order_by.push_back(std::move(o));
+      } while (accept_symbol(","));
+    }
+    if (accept_ident("limit")) {
+      if (cur().type != TokenType::Number) fail("expected LIMIT count");
+      stmt->limit = std::stoll(cur().text);
+      advance();
+    }
+    return stmt;
+  }
+
+  bool at_clause_keyword() const {
+    static const char* kws[] = {"from",  "where", "group", "order",
+                                "limit", "on",    "as",    "join",
+                                "left",  "right", "full",  "inner",
+                                "having"};
+    for (const char* k : kws)
+      if (cur().is_ident(k)) return true;
+    return false;
+  }
+
+  TableRef parse_table_ref() {
+    TableRef t;
+    if (accept_symbol("(")) {
+      t.subquery = parse_select();
+      expect_symbol(")");
+      accept_ident("as");
+      t.alias = expect_name();
+    } else {
+      t.table = expect_name();
+      if (accept_ident("as")) t.alias = expect_name();
+      else if (cur().type == TokenType::Ident && !at_clause_keyword() &&
+               !cur().is_ident("set"))
+        t.alias = expect_name();
+      if (t.alias.empty()) t.alias = t.table;
+    }
+    return t;
+  }
+
+  // Precedence: OR < AND < NOT < comparison/IS < additive < multiplicative
+  // < unary minus < primary.
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    auto lhs = parse_and();
+    while (accept_ident("or"))
+      lhs = Expr::make_binary("or", std::move(lhs), parse_and());
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    auto lhs = parse_not();
+    while (accept_ident("and"))
+      lhs = Expr::make_binary("and", std::move(lhs), parse_not());
+    return lhs;
+  }
+
+  ExprPtr parse_not() {
+    if (accept_ident("not")) return Expr::make_unary("not", parse_not());
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    auto lhs = parse_additive();
+    if (cur().is_ident("is")) {
+      advance();
+      const bool negated = accept_ident("not");
+      expect_ident("null");
+      return Expr::make_is_null(std::move(lhs), negated);
+    }
+    static const char* ops[] = {"<=", ">=", "<>", "=", "<", ">"};
+    for (const char* op : ops) {
+      if (cur().is_symbol(op)) {
+        advance();
+        return Expr::make_binary(op, std::move(lhs), parse_additive());
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_additive() {
+    auto lhs = parse_multiplicative();
+    while (true) {
+      if (accept_symbol("+"))
+        lhs = Expr::make_binary("+", std::move(lhs), parse_multiplicative());
+      else if (accept_symbol("-"))
+        lhs = Expr::make_binary("-", std::move(lhs), parse_multiplicative());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr parse_multiplicative() {
+    auto lhs = parse_unary();
+    while (true) {
+      if (accept_symbol("*"))
+        lhs = Expr::make_binary("*", std::move(lhs), parse_unary());
+      else if (accept_symbol("/"))
+        lhs = Expr::make_binary("/", std::move(lhs), parse_unary());
+      else
+        return lhs;
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (accept_symbol("-")) return Expr::make_unary("-", parse_unary());
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    if (accept_symbol("(")) {
+      auto e = parse_expr();
+      expect_symbol(")");
+      return e;
+    }
+    if (cur().type == TokenType::Number) {
+      const std::string& t = cur().text;
+      Value v = t.find('.') == std::string::npos
+                    ? Value{static_cast<std::int64_t>(std::stoll(t))}
+                    : Value{std::stod(t)};
+      advance();
+      return Expr::make_literal(std::move(v));
+    }
+    if (cur().type == TokenType::String) {
+      Value v{cur().text};
+      advance();
+      return Expr::make_literal(std::move(v));
+    }
+    if (cur().type == TokenType::Ident) {
+      std::string name = cur().text;
+      advance();
+      if (accept_symbol("(")) {
+        // function call
+        bool distinct = false, star = false;
+        std::vector<ExprPtr> args;
+        if (accept_symbol("*")) {
+          star = true;
+        } else if (!cur().is_symbol(")")) {
+          distinct = accept_ident("distinct");
+          do args.push_back(parse_expr());
+          while (accept_symbol(","));
+        }
+        expect_symbol(")");
+        return Expr::make_func(std::move(name), std::move(args), distinct, star);
+      }
+      // qualified column: name(.name)*
+      while (accept_symbol(".")) {
+        name += ".";
+        name += expect_name();
+      }
+      return Expr::make_column(std::move(name));
+    }
+    fail("expected expression");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<SelectStmt> parse_select(const std::string& sql) {
+  return Parser(sql).parse_statement();
+}
+
+ExprPtr parse_expression(const std::string& text) {
+  return Parser(text).parse_bare_expression();
+}
+
+}  // namespace ysmart

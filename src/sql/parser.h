@@ -1,0 +1,18 @@
+// Recursive-descent SQL parser for the subset described in sql/ast.h.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sql/ast.h"
+
+namespace ysmart {
+
+/// Parse one SELECT statement (an optional trailing ';' is allowed).
+/// Throws ParseError with an offset-bearing message on malformed input.
+std::shared_ptr<SelectStmt> parse_select(const std::string& sql);
+
+/// Parse a scalar/boolean expression in isolation (used by tests).
+ExprPtr parse_expression(const std::string& text);
+
+}  // namespace ysmart

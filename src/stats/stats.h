@@ -1,0 +1,53 @@
+// Table statistics: row counts and per-column distinct-value estimates.
+//
+// The paper's YSmart chose aggregation partition keys with a pure
+// connectivity heuristic because it lacked statistics (Section IV-A:
+// "Currently YSmart does not seek a solution based on execution cost
+// estimations due to the lack of statistics information of data sets").
+// This module supplies that missing piece as an opt-in extension: stats
+// are estimated from the loaded tables, column identities travel through
+// the plan via lineage, and the translator can veto a
+// correlation-friendly PK whose cardinality is too low to parallelize
+// the reduce phase (see TranslatorProfile::cost_based_pk).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "plan/partition_key.h"
+#include "storage/table.h"
+
+namespace ysmart {
+
+struct TableStats {
+  std::uint64_t rows = 0;
+  /// Distinct non-NULL values per column (exact up to the sample cap).
+  std::map<std::string, std::uint64_t> column_ndv;
+};
+
+class StatsCatalog {
+ public:
+  void put(const std::string& table, TableStats stats);
+
+  bool has(const std::string& table) const;
+  const TableStats* find(const std::string& table) const;
+
+  /// NDV of one base column; nullopt when the table or column is unknown.
+  std::optional<std::uint64_t> ndv(const ColumnId& id) const;
+
+  /// Estimated number of distinct composite keys a PartitionKey produces:
+  /// the product of per-part NDVs (each part takes the smallest NDV among
+  /// its alias class — an equi-join key cannot exceed either side),
+  /// saturating, with unknown columns treated as unbounded.
+  std::uint64_t estimate_groups(const PartitionKey& pk) const;
+
+  /// Scan `t` (up to `sample_rows` rows) and estimate its statistics.
+  static TableStats estimate(const Table& t, std::size_t sample_rows = 100000);
+
+ private:
+  std::map<std::string, TableStats> tables_;
+};
+
+}  // namespace ysmart

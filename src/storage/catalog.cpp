@@ -1,0 +1,28 @@
+#include "storage/catalog.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ysmart {
+
+void Catalog::register_table(const std::string& name, Schema schema) {
+  tables_[to_lower(name)] = std::move(schema);
+}
+
+bool Catalog::has_table(const std::string& name) const {
+  return tables_.count(to_lower(name)) > 0;
+}
+
+const Schema& Catalog::schema_of(const std::string& name) const {
+  auto it = tables_.find(to_lower(name));
+  if (it == tables_.end()) throw PlanError("unknown table: " + name);
+  return it->second;
+}
+
+std::vector<std::string> Catalog::table_names() const {
+  std::vector<std::string> out;
+  for (const auto& [k, _] : tables_) out.push_back(k);
+  return out;
+}
+
+}  // namespace ysmart

@@ -1,0 +1,28 @@
+// Catalog: maps table names to base-table schemas and (via the DFS) their
+// stored data. The planner consults the catalog to resolve FROM clauses.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/schema.h"
+
+namespace ysmart {
+
+class Catalog {
+ public:
+  /// Register (or replace) a base table's schema under `name` (lowercased).
+  void register_table(const std::string& name, Schema schema);
+
+  bool has_table(const std::string& name) const;
+
+  /// Schema of `name`; throws PlanError if unknown.
+  const Schema& schema_of(const std::string& name) const;
+
+  std::vector<std::string> table_names() const;
+
+ private:
+  std::map<std::string, Schema> tables_;
+};
+
+}  // namespace ysmart

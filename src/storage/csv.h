@@ -1,0 +1,49 @@
+// CSV import/export for tables.
+//
+// Lets a downstream user load their own data instead of the built-in
+// generators. Dialect: comma-separated (configurable), double-quote
+// quoting with "" escapes, first line optionally a header. NULLs are
+// empty fields. Values parse according to the target schema's types;
+// with no schema, types are inferred per column (Int ⊂ Double ⊂ String)
+// from the data.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+
+namespace ysmart {
+
+struct CsvOptions {
+  char separator = ',';
+  bool header = true;
+};
+
+/// Parse rows from `in` into a table with the given schema. A header
+/// line, when present, is validated against the schema's column count.
+/// Throws ExecError on malformed rows or unparseable values.
+std::shared_ptr<Table> read_csv(std::istream& in, const Schema& schema,
+                                const CsvOptions& opts = {});
+
+/// Parse with schema inference: column names come from the header (or
+/// are synthesized as col0..colN), and each column gets the narrowest
+/// type that fits every non-NULL value.
+std::shared_ptr<Table> read_csv_infer(std::istream& in,
+                                      const CsvOptions& opts = {});
+
+/// Write `t` to `out`, quoting where needed; NULLs become empty fields.
+void write_csv(const Table& t, std::ostream& out, const CsvOptions& opts = {});
+
+/// File-path conveniences. Throw ExecError when the file cannot be
+/// opened.
+std::shared_ptr<Table> read_csv_file(const std::string& path,
+                                     const Schema& schema,
+                                     const CsvOptions& opts = {});
+std::shared_ptr<Table> read_csv_file_infer(const std::string& path,
+                                           const CsvOptions& opts = {});
+void write_csv_file(const Table& t, const std::string& path,
+                    const CsvOptions& opts = {});
+
+}  // namespace ysmart

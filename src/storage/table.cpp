@@ -1,0 +1,50 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ysmart {
+
+Table::Table(Schema schema, std::vector<Row> rows)
+    : schema_(std::move(schema)), rows_(std::move(rows)) {
+  for (const auto& r : rows_) {
+    if (r.size() != schema_.size())
+      throw InternalError("Table: row arity does not match schema");
+    bytes_ += row_byte_size(r);
+  }
+}
+
+void Table::append(Row row) {
+  if (row.size() != schema_.size())
+    throw InternalError("Table::append: row arity does not match schema");
+  bytes_ += row_byte_size(row);
+  rows_.push_back(std::move(row));
+}
+
+void Table::sort() {
+  std::sort(rows_.begin(), rows_.end(), RowLess{});
+}
+
+std::string Table::to_string(std::size_t limit) const {
+  std::string out = schema_.to_string() + "\n";
+  const std::size_t n = std::min(limit, rows_.size());
+  for (std::size_t i = 0; i < n; ++i) out += row_to_string(rows_[i]) + "\n";
+  if (rows_.size() > n)
+    out += strf("... (%zu more rows)\n", rows_.size() - n);
+  return out;
+}
+
+bool same_rows_unordered(const Table& a, const Table& b) {
+  if (a.row_count() != b.row_count()) return false;
+  auto ra = a.rows();
+  auto rb = b.rows();
+  std::sort(ra.begin(), ra.end(), RowLess{});
+  std::sort(rb.begin(), rb.end(), RowLess{});
+  for (std::size_t i = 0; i < ra.size(); ++i)
+    if (compare_rows(ra[i], rb[i]) != 0) return false;
+  return true;
+}
+
+}  // namespace ysmart

@@ -1,0 +1,48 @@
+// Table: an in-memory relation (schema + rows) with byte accounting.
+//
+// Tables are the unit stored in the simulated DFS and produced by query
+// execution. Row data is genuinely materialized so every MapReduce job in
+// the simulator processes real records.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace ysmart {
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<Row> rows);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t byte_size() const { return bytes_; }
+
+  /// Append one row; must match the schema arity.
+  void append(Row row);
+
+  /// Sort rows lexicographically (used to canonicalize for comparisons).
+  void sort();
+
+  /// Render the first `limit` rows as an aligned text block (debug aid).
+  std::string to_string(std::size_t limit = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::size_t bytes_ = 0;
+};
+
+/// True if the two tables contain the same multiset of rows (order
+/// insensitive); used by the differential tests against refdb.
+bool same_rows_unordered(const Table& a, const Table& b);
+
+}  // namespace ysmart

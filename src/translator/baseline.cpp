@@ -1,0 +1,29 @@
+#include "translator/baseline.h"
+
+#include "plan/prune.h"
+#include "translator/correlation.h"
+#include "translator/lowering.h"
+
+namespace ysmart {
+
+TranslatedQuery translate_baseline(const PlanPtr& plan,
+                                   const TranslatorProfile& profile,
+                                   const std::string& scratch_prefix) {
+  prune_plan(plan);
+  CorrelationAnalysis ca(plan);
+  LoweringContext ctx{scratch_prefix};
+
+  TranslatedQuery out;
+  out.plan = plan;
+  if (ca.ops().empty()) {
+    out.jobs.push_back(lower_scan_only(plan.get(), ctx));
+    return out;
+  }
+  for (const auto& info : ca.ops()) {
+    out.jobs.push_back(
+        lower_draft({info.op}, ca, ctx, profile, /*use_chosen_pk=*/false));
+  }
+  return out;
+}
+
+}  // namespace ysmart

@@ -1,0 +1,20 @@
+// Baseline translator: the one-operation-to-one-job translation the paper
+// attributes to Hive and Pig (Section III). The plan tree is traversed in
+// post-order and every operation node becomes its own MapReduce job,
+// chained through DFS intermediates. Selection/projection on base tables
+// is folded into the consuming job's map phase; aggregation jobs may use
+// hash-based map-side partial aggregation when the profile allows it.
+#pragma once
+
+#include "plan/plan.h"
+#include "translator/jobspec.h"
+
+namespace ysmart {
+
+/// Translate `plan` one-op-per-job. `scratch_prefix` namespaces the
+/// intermediate DFS paths of this query execution.
+TranslatedQuery translate_baseline(const PlanPtr& plan,
+                                   const TranslatorProfile& profile,
+                                   const std::string& scratch_prefix);
+
+}  // namespace ysmart

@@ -1,0 +1,185 @@
+#include "translator/correlation.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ysmart {
+
+namespace {
+
+void build_parent_map(const PlanPtr& node,
+                      std::map<const PlanNode*, const PlanNode*>& parent) {
+  for (const auto& c : node->children) {
+    parent[c.get()] = node.get();
+    build_parent_map(c, parent);
+  }
+}
+
+}  // namespace
+
+CorrelationAnalysis::CorrelationAnalysis(const PlanPtr& root,
+                                         PkSelectionOptions pk_options)
+    : pk_options_(pk_options) {
+  build_parent_map(root, parent_);
+  for (PlanNode* op : post_order_operations(root)) {
+    OpInfo info;
+    info.op = op;
+    for (const auto& c : op->children)
+      if (c->kind == PlanKind::Scan) info.direct_tables.insert(c->table);
+    if (op->kind == PlanKind::Join) info.pk = join_partition_key(*op);
+    index_[op] = static_cast<int>(ops_.size());
+    ops_.push_back(std::move(info));
+    // Aggregation PKs are chosen after joins' fixed PKs and after the
+    // agg's own children have been processed (post-order guarantees it).
+    if (op->kind == PlanKind::Agg && !op->group_cols.empty())
+      choose_agg_pk(ops_.back());
+  }
+}
+
+void CorrelationAnalysis::choose_agg_pk(OpInfo& info) {
+  auto candidates = agg_partition_key_candidates(*info.op);
+  if (candidates.empty()) return;
+
+  const auto children = child_ops(info.op);
+  const PlanNode* parent = nullptr;
+  if (auto it = parent_.find(info.op); it != parent_.end()) parent = it->second;
+
+  int best_score = 0;
+  std::size_t best = candidates.size();  // invalid
+  for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+    const auto& cand = candidates[ci];
+    int score = 0;
+    // Job-flow correlation with child operations is what lets this AGG
+    // collapse into the child's job (Rule 2); weight it highest.
+    for (const PlanNode* c : children) {
+      const auto& cpk = ops_[static_cast<std::size_t>(index_of(c))].pk;
+      if (cand.matches(cpk)) score += 2;
+    }
+    // Enabling the parent join's JFC with us is worth one connection.
+    if (parent && parent->kind == PlanKind::Join &&
+        cand.matches(join_partition_key(*parent)))
+      score += 1;
+    // Transit correlation with independent operations that share a direct
+    // input table (lets Rule 1 share their scan).
+    for (const auto& other : ops_) {
+      if (other.op == info.op || other.pk.empty()) continue;
+      if (is_ancestor(other.op, info.op) || is_ancestor(info.op, other.op))
+        continue;
+      bool shares = false;
+      for (const auto& t : other.direct_tables)
+        if (info.direct_tables.count(t)) shares = true;
+      if (shares && cand.matches(other.pk)) score += 1;
+    }
+    if (score > best_score ||
+        (score == best_score && best < candidates.size() && score > 0 &&
+         cand.columns.size() > candidates[best].columns.size())) {
+      best_score = score;
+      best = ci;
+    }
+  }
+  if (best_score > 0 && best < candidates.size()) {
+    info.pk = candidates[best];
+    // Cost-based veto (the extension the paper leaves as future work): a
+    // subset PK that produces too few distinct groups would serialize
+    // the merged job's reduce phase; prefer full-key parallelism then.
+    if (pk_options_.cost_based && pk_options_.stats &&
+        info.pk.columns.size() < info.op->group_cols.size()) {
+      const std::uint64_t groups = pk_options_.stats->estimate_groups(info.pk);
+      if (groups < pk_options_.min_groups_for_subset_pk)
+        info.pk = agg_full_partition_key(*info.op);
+    }
+  } else {
+    // No correlation to exploit: partition by the full grouping key, as a
+    // one-operation-to-one-job translation would.
+    info.pk = agg_full_partition_key(*info.op);
+  }
+}
+
+int CorrelationAnalysis::index_of(const PlanNode* op) const {
+  auto it = index_.find(op);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const PartitionKey& CorrelationAnalysis::pk_of(const PlanNode* op) const {
+  const int i = index_of(op);
+  check(i >= 0, "pk_of: node is not an operation");
+  return ops_[static_cast<std::size_t>(i)].pk;
+}
+
+bool CorrelationAnalysis::input_correlation(int a, int b) const {
+  const auto& ta = ops_.at(static_cast<std::size_t>(a)).direct_tables;
+  const auto& tb = ops_.at(static_cast<std::size_t>(b)).direct_tables;
+  for (const auto& t : ta)
+    if (tb.count(t)) return true;
+  return false;
+}
+
+bool CorrelationAnalysis::transit_correlation(int a, int b) const {
+  if (!input_correlation(a, b)) return false;
+  const auto& pa = ops_.at(static_cast<std::size_t>(a)).pk;
+  const auto& pb = ops_.at(static_cast<std::size_t>(b)).pk;
+  return pa.matches(pb);
+}
+
+bool CorrelationAnalysis::job_flow_correlation(int parent, int child) const {
+  const auto& pp = ops_.at(static_cast<std::size_t>(parent));
+  const auto& cp = ops_.at(static_cast<std::size_t>(child));
+  // `child` must actually be a direct child operation of `parent`.
+  const auto kids = child_ops(pp.op);
+  if (std::find(kids.begin(), kids.end(), cp.op) == kids.end()) return false;
+  return pp.pk.matches(cp.pk);
+}
+
+bool CorrelationAnalysis::is_ancestor(const PlanNode* a,
+                                      const PlanNode* b) const {
+  const PlanNode* cur = b;
+  while (true) {
+    auto it = parent_.find(cur);
+    if (it == parent_.end()) return false;
+    cur = it->second;
+    if (cur == a) return true;
+  }
+}
+
+std::vector<PlanNode*> CorrelationAnalysis::child_ops(const PlanNode* op) const {
+  std::vector<PlanNode*> out;
+  for (const auto& c : op->children)
+    if (c->is_operation()) out.push_back(c.get());
+  return out;
+}
+
+std::string CorrelationAnalysis::report() const {
+  std::string out = "operations and partition keys:\n";
+  for (const auto& o : ops_) {
+    out += "  " + o.op->label + ": PK=" +
+           (o.pk.empty() ? "(none)" : o.pk.to_string());
+    if (!o.direct_tables.empty()) {
+      out += "  scans={";
+      bool first = true;
+      for (const auto& t : o.direct_tables) {
+        if (!first) out += ",";
+        out += t;
+        first = false;
+      }
+      out += "}";
+    }
+    out += "\n";
+  }
+  out += "pairwise correlations:\n";
+  for (std::size_t a = 0; a < ops_.size(); ++a) {
+    for (std::size_t b = a + 1; b < ops_.size(); ++b) {
+      const bool ic = input_correlation(static_cast<int>(a), static_cast<int>(b));
+      const bool tc = transit_correlation(static_cast<int>(a), static_cast<int>(b));
+      const bool jfc_ab = job_flow_correlation(static_cast<int>(b), static_cast<int>(a));
+      if (!ic && !tc && !jfc_ab) continue;
+      out += strf("  %s ~ %s:%s%s%s\n", ops_[a].op->label.c_str(),
+                  ops_[b].op->label.c_str(), ic ? " IC" : "", tc ? " TC" : "",
+                  jfc_ab ? " JFC" : "");
+    }
+  }
+  return out;
+}
+
+}  // namespace ysmart

@@ -1,0 +1,84 @@
+// Correlation analysis (Section IV of the paper).
+//
+// Assigns every operation node its partition key — joins have a fixed PK;
+// aggregations choose among candidates with the paper's heuristic
+// ("select the one that can connect the maximal number of nodes that can
+// have these correlations") — and answers the three correlation
+// predicates:
+//
+//   Input Correlation (IC): the two operations' job input relation sets
+//     are not disjoint.
+//   Transit Correlation (TC): IC and the same partition key.
+//   Job-Flow Correlation (JFC): an operation has the same partition key
+//     as one of its child operations.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "plan/partition_key.h"
+#include "plan/plan.h"
+#include "stats/stats.h"
+
+namespace ysmart {
+
+/// How aggregation partition keys are chosen among the candidates.
+struct PkSelectionOptions {
+  /// When true (and stats are supplied), a correlation-friendly subset PK
+  /// is vetoed if its estimated group count is below
+  /// `min_groups_for_subset_pk` — merging would serialize the reduce
+  /// phase on a handful of keys. This is the cost-based selection the
+  /// paper leaves as future work (Section IV-A).
+  bool cost_based = false;
+  const StatsCatalog* stats = nullptr;
+  std::uint64_t min_groups_for_subset_pk = 64;
+};
+
+struct OpInfo {
+  PlanNode* op = nullptr;
+  PartitionKey pk;  // chosen key; empty for SORT/SP/global aggregation
+  /// Base tables this operation's own job would scan directly (its scan
+  /// children), i.e. the job's input relation set minus intermediates.
+  std::set<std::string> direct_tables;
+};
+
+class CorrelationAnalysis {
+ public:
+  explicit CorrelationAnalysis(const PlanPtr& root,
+                               PkSelectionOptions pk_options = {});
+
+  /// Operation nodes in post-order, with chosen PKs.
+  const std::vector<OpInfo>& ops() const { return ops_; }
+
+  int index_of(const PlanNode* op) const;  // -1 if not an operation
+  const PartitionKey& pk_of(const PlanNode* op) const;
+
+  bool input_correlation(int a, int b) const;
+  bool transit_correlation(int a, int b) const;
+
+  /// JFC: `parent` (an op index) has the same PK as `child` (an op index
+  /// that is one of its direct child operations).
+  bool job_flow_correlation(int parent, int child) const;
+
+  /// True if op `a` is a (strict) ancestor of op `b` in the plan tree.
+  bool is_ancestor(const PlanNode* a, const PlanNode* b) const;
+
+  /// Nearest operation children of `op` (its direct child nodes that are
+  /// operations; scans are skipped — they need no job).
+  std::vector<PlanNode*> child_ops(const PlanNode* op) const;
+
+  /// Human-readable report of PKs and pairwise correlations.
+  std::string report() const;
+
+ private:
+  void choose_agg_pk(OpInfo& info);
+
+  PkSelectionOptions pk_options_;
+  std::vector<OpInfo> ops_;
+  std::map<const PlanNode*, int> index_;
+  std::map<const PlanNode*, const PlanNode*> parent_;
+};
+
+}  // namespace ysmart

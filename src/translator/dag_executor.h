@@ -1,0 +1,27 @@
+// Executes a translated query on the simulated cluster.
+//
+// Jobs run serially in the order the translator produced (dependency
+// order), matching how the Hive/Hadoop drivers of the paper's era chained
+// jobs. Intermediates live in the DFS under the query's scratch prefix
+// and are removed afterwards unless kept for inspection.
+#pragma once
+
+#include <memory>
+
+#include "mr/engine.h"
+#include "translator/jobspec.h"
+
+namespace ysmart {
+
+struct QueryRunResult {
+  QueryMetrics metrics;
+  std::shared_ptr<const Table> result;
+};
+
+/// Run all jobs of `query` on `engine`. The profile supplies the cost
+/// knobs already baked into each job at CMF-build time.
+QueryRunResult run_translated(const TranslatedQuery& query, Engine& engine,
+                              const TranslatorProfile& profile,
+                              bool keep_intermediates = false);
+
+}  // namespace ysmart

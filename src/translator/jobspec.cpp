@@ -1,0 +1,147 @@
+#include "translator/jobspec.h"
+
+#include <map>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace ysmart {
+
+TranslatorProfile TranslatorProfile::ysmart() {
+  TranslatorProfile p;
+  p.name = "ysmart";
+  return p;
+}
+
+TranslatorProfile TranslatorProfile::hive() {
+  TranslatorProfile p;
+  p.name = "hive";
+  p.correlation_aware = false;
+  return p;
+}
+
+TranslatorProfile TranslatorProfile::pig() {
+  TranslatorProfile p;
+  p.name = "pig";
+  p.correlation_aware = false;
+  p.map_side_agg = false;
+  p.map_cpu_multiplier = 1.25;
+  p.reduce_cpu_multiplier = 1.4;
+  p.intermediate_expansion = 2.6;
+  return p;
+}
+
+TranslatorProfile TranslatorProfile::mrshare() {
+  TranslatorProfile p;
+  p.name = "mrshare";
+  p.use_job_flow_correlation = false;
+  return p;
+}
+
+TranslatorProfile TranslatorProfile::hand_coded() {
+  TranslatorProfile p;
+  p.name = "hand-coded";
+  // Same job structure as YSmart; the reduce function is specialized
+  // instead of dispatched through CMF interfaces and short-circuits keys
+  // whose driving input is empty (Section VII-C, case 4).
+  p.reduce_cpu_multiplier = 0.5;
+  return p;
+}
+
+int TranslatedJob::total_consumers() const {
+  int n = 0;
+  for (const auto& e : emissions) n += static_cast<int>(e.consumers.size());
+  return n;
+}
+
+std::string TranslatedJob::describe() const {
+  std::string out = "job " + name + " [";
+  switch (kind) {
+    case Kind::MapReduce: out += "MR"; break;
+    case Kind::MapOnly: out += "MAP-ONLY"; break;
+    case Kind::CombineAgg: out += "AGG+combine"; break;
+  }
+  out += "]\n";
+  for (const auto& f : input_files) out += "  input: " + f.path + "\n";
+  for (const auto& e : emissions) {
+    out += strf("  emission tag=%d file=%d key=(", e.source_tag, e.input_file);
+    for (std::size_t i = 0; i < e.key_exprs.size(); ++i) {
+      if (i) out += ",";
+      out += e.key_exprs[i]->to_string();
+    }
+    out += strf(") consumers=%zu\n", e.consumers.size());
+  }
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    out += "  stage " + std::to_string(i) + ": " + stages[i].op->to_string();
+    out += " <- ";
+    for (std::size_t j = 0; j < stages[i].inputs.size(); ++j) {
+      if (j) out += ", ";
+      const auto& in = stages[i].inputs[j];
+      out += (in.from_consumer ? "consumer#" : "stage#") + std::to_string(in.index);
+    }
+    if (stages[i].output_index >= 0)
+      out += " -> output#" + std::to_string(stages[i].output_index);
+    out += "\n";
+  }
+  for (const auto& o : outputs) out += "  output: " + o.path + "\n";
+  return out;
+}
+
+std::string TranslatedQuery::result_path() const {
+  check(!jobs.empty(), "translated query has no jobs");
+  check(!jobs.back().outputs.empty(), "final job has no outputs");
+  return jobs.back().outputs[0].path;
+}
+
+std::string TranslatedQuery::describe() const {
+  std::string out = strf("translated query: %zu job(s)\n", jobs.size());
+  for (const auto& j : jobs) out += j.describe();
+  return out;
+}
+
+namespace {
+std::string dot_escape(std::string s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string TranslatedQuery::to_dot() const {
+  std::string out = "digraph jobs {\n  rankdir=LR;\n  node [shape=box];\n";
+  // One cluster per job; a synthetic node per input/output path.
+  std::map<std::string, int> path_node;
+  int counter = 0;
+  auto path_id = [&](const std::string& path) {
+    auto it = path_node.find(path);
+    if (it != path_node.end()) return it->second;
+    const int id = counter++;
+    out += strf("  p%d [shape=ellipse, label=\"%s\"];\n", id,
+                dot_escape(path).c_str());
+    path_node[path] = id;
+    return id;
+  };
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto& job = jobs[j];
+    out += strf("  subgraph cluster_%zu {\n    label=\"%s\";\n", j,
+                dot_escape(job.name).c_str());
+    out += strf("    j%zu [label=\"", j);
+    for (std::size_t s = 0; s < job.stages.size(); ++s) {
+      if (s) out += "\\n";
+      out += dot_escape(job.stages[s].op->label);
+    }
+    if (job.stages.empty()) out += dot_escape(job.name);
+    out += "\"];\n  }\n";
+    for (const auto& in : job.input_files)
+      out += strf("  p%d -> j%zu;\n", path_id(in.path), j);
+    for (const auto& o : job.outputs)
+      out += strf("  j%zu -> p%d;\n", j, path_id(o.path));
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ysmart

@@ -1,0 +1,168 @@
+// TranslatedJob: the translator-level description of one MapReduce job.
+//
+// Both translators (the Hive-style one-operation-to-one-job baseline and
+// YSmart) emit a sequence of TranslatedJobs; the CMF (src/cmf) turns each
+// into a runnable MRJobSpec. A TranslatedJob is exactly the paper's
+// "common job" template (Section VI): a common mapper described by
+// *emissions* (per input record, which key/value pairs to emit, with
+// which visibility tags), and a common reducer described by *stages* (the
+// merged reducers plus post-job computations, evaluated per key group).
+// A plain single-operation job is simply the degenerate case with one
+// emission per input and one stage.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "mr/job.h"
+#include "plan/plan.h"
+
+namespace ysmart {
+
+/// How a translator behaves; models the systems compared in Section VII.
+struct TranslatorProfile {
+  std::string name;
+
+  /// False = one-operation-to-one-job translation (Hive, Pig).
+  bool correlation_aware = true;
+
+  /// Step control for the Fig. 9 ablation: Rule 1 (input + transit
+  /// correlation merging) and Rules 2-4 (job-flow correlation merging)
+  /// can be toggled independently.
+  bool use_input_transit_correlation = true;
+  bool use_job_flow_correlation = true;
+
+  /// Hash-based map-side partial aggregation for AGGREGATION jobs (the
+  /// Hive optimization in the paper's footnote 2). Pig lacked it.
+  bool map_side_agg = true;
+
+  // Per-record constant-factor model (documented in DESIGN.md): Pig's
+  // tuple layer was slower and produced larger intermediates; a
+  // hand-coded reducer runs fewer generic dispatch layers than CMF and
+  // short-circuits empty join sides (Section VII-C case 4).
+  double map_cpu_multiplier = 1.0;
+  double reduce_cpu_multiplier = 1.0;
+  double intermediate_expansion = 1.0;
+
+  /// Extra reduce-phase cost for JOIN jobs whose inputs are all
+  /// temporarily-generated tables. The paper observed this on the
+  /// production cluster only: "Hive cannot efficiently execute join with
+  /// temporarily-generated inputs" — Q17's Job3 reduce took 721 s against
+  /// a 53 s map (Section VII-F), while the same job was 4.5% of the query
+  /// on the small cluster. Neutral (1.0) by default since the effect is
+  /// scale-dependent; the Facebook-cluster benchmarks raise it to model
+  /// the observed anomaly (see EXPERIMENTS.md). YSmart never generates
+  /// such jobs — they are exactly what job-flow merging removes.
+  double temp_input_join_penalty = 1.0;
+
+  TagEncoding tag_encoding = TagEncoding::ExcludeList;
+
+  /// Submit independent jobs concurrently (dependency waves) instead of
+  /// the strict serial chain the paper's-era drivers used. Affects
+  /// QueryMetrics::wall_time_s only; per-job work is unchanged. Off by
+  /// default to match the systems under comparison.
+  bool concurrent_job_submission = false;
+
+  /// Opt-in cost-based aggregation-PK selection (extension; see
+  /// PkSelectionOptions in translator/correlation.h). Requires table
+  /// statistics, which Database collects automatically. Note the
+  /// `ablation_tags` benchmark's finding: vetoing a low-cardinality PK
+  /// trades merged-job serialization for extra materialization, which
+  /// can easily be the worse side of the trade.
+  bool cost_based_pk = false;
+  std::uint64_t min_groups_for_subset_pk = 64;
+
+  static TranslatorProfile ysmart();
+  static TranslatorProfile hive();
+  static TranslatorProfile pig();
+  static TranslatorProfile hand_coded();
+
+  /// MRShare-style sharing (paper Section VIII): merges scans and map
+  /// outputs of independent jobs (Rule 1) but "since the job flow
+  /// correlation is not considered, MRShare will not support
+  /// batch-processing jobs that have data dependency, thus the number of
+  /// jobs for executing a complex query is not always minimized."
+  static TranslatorProfile mrshare();
+};
+
+/// One family of key/value pairs the common mapper emits per input
+/// record of one file.
+struct Emission {
+  int input_file = 0;  // index into TranslatedJob::input_files
+  int source_tag = 0;  // KeyValue.source for pairs of this emission
+
+  /// Key/value expressions over the input file's schema. For scan-backed
+  /// emissions the names are alias-qualified and resolve against the base
+  /// schema by suffix; for intermediate files they are plain columns.
+  std::vector<ExprPtr> key_exprs;
+  std::vector<ExprPtr> value_exprs;
+  Schema value_schema;
+
+  /// The merged jobs reading this emission. A pair is emitted when at
+  /// least one consumer's filter passes; consumers whose filter fails are
+  /// listed in the pair's exclude tag (Section VI-A).
+  struct Consumer {
+    int consumer_id = 0;  // bit position in KeyValue.exclude, job-wide
+    ExprPtr filter;       // over the input file schema; null = always
+  };
+  std::vector<Consumer> consumers;
+};
+
+/// One merged reducer or post-job computation in the common reducer.
+struct Stage {
+  const PlanNode* op = nullptr;  // Join / Agg / SP
+  struct In {
+    bool from_consumer = false;  // true: rows of a map emission consumer
+    int index = 0;               // consumer_id or stage index
+  };
+  std::vector<In> inputs;  // Join: [left,right]; Agg/SP: [one]
+  int output_index = -1;   // >= 0: stage result goes to outputs[i]
+};
+
+struct InputFile {
+  std::string path;
+  Schema schema;
+};
+
+struct TranslatedJob {
+  enum class Kind { MapReduce, MapOnly, CombineAgg };
+
+  std::string name;
+  Kind kind = Kind::MapReduce;
+
+  std::vector<InputFile> input_files;
+  std::vector<Emission> emissions;
+  std::vector<Stage> stages;
+  std::vector<JobOutput> outputs;
+
+  /// 0 = engine default. SORT jobs force 1 (single-reducer total order,
+  /// as Hive's ORDER BY did in the paper's era).
+  int num_reduce_tasks = 0;
+
+  /// Kind::CombineAgg — a single-AGG job using map-side partial
+  /// aggregation (the mapper emits (group key, partial states)); the
+  /// stage list still holds the AGG for schema/result purposes.
+  const PlanNode* combine_agg_node = nullptr;
+
+  int total_consumers() const;
+  std::string describe() const;  // multi-line human-readable summary
+};
+
+/// A fully translated query: jobs in execution (topological) order; the
+/// last job's first output is the query result.
+struct TranslatedQuery {
+  /// Owns the plan tree that every job's Stage::op / combine_agg_node
+  /// raw pointers point into; must outlive any execution of the jobs.
+  PlanPtr plan;
+  std::vector<TranslatedJob> jobs;
+  std::string result_path() const;
+  std::string describe() const;
+
+  /// Graphviz DOT of the job DAG: one cluster per job showing its merged
+  /// stages, with inter-job edges through the DFS intermediates.
+  std::string to_dot() const;
+};
+
+}  // namespace ysmart

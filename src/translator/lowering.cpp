@@ -1,0 +1,315 @@
+#include "translator/lowering.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "common/strings.h"
+#include "exec/aggregates.h"
+
+namespace ysmart {
+
+namespace {
+
+bool in_draft(const std::vector<PlanNode*>& ops, const PlanNode* n) {
+  return std::find(ops.begin(), ops.end(), n) != ops.end();
+}
+
+/// Partition-key column names this op uses to partition `child`.
+std::vector<std::string> partition_columns_for(const PlanNode* op,
+                                               const PlanNode* child,
+                                               const CorrelationAnalysis& ca,
+                                               bool use_chosen_pk) {
+  if (op->kind == PlanKind::Join) {
+    return child == op->children[0].get() ? op->left_keys : op->right_keys;
+  }
+  if (op->kind == PlanKind::Agg) {
+    if (use_chosen_pk) {
+      const auto& pk = ca.pk_of(op);
+      return pk.columns;  // may be empty for global aggregation
+    }
+    return op->group_cols;
+  }
+  // SORT (single-reducer) and SP have no partition key.
+  return {};
+}
+
+/// True when a scan's projections are all plain column refs (the normal
+/// post-pruning form), which makes its emission eligible for sharing.
+bool plain_projection(const PlanNode& scan) {
+  for (const auto& p : scan.projections)
+    if (p->kind != ExprKind::ColumnRef) return false;
+  return true;
+}
+
+/// Base-table column names (unqualified) of a scan's projected outputs.
+std::vector<std::string> base_value_columns(const PlanNode& scan) {
+  std::vector<std::string> out;
+  if (scan.projections.empty()) {
+    for (const auto& c : scan.output_schema.columns())
+      out.push_back(unqualify(c.name));
+  } else {
+    for (const auto& p : scan.projections) out.push_back(unqualify(p->column));
+  }
+  return out;
+}
+
+struct PendingScanStream {
+  PlanNode* scan = nullptr;
+  PlanNode* consumer_op = nullptr;
+  std::vector<std::string> key_cols_base;    // unqualified key column names
+  std::vector<std::string> value_cols_base;  // unqualified value columns
+  int stage_index = 0;
+  int input_slot = 0;  // which Stage::inputs entry this feeds
+};
+
+}  // namespace
+
+TranslatedJob lower_draft(const std::vector<PlanNode*>& ops,
+                          const CorrelationAnalysis& ca,
+                          const LoweringContext& ctx,
+                          const TranslatorProfile& profile,
+                          bool use_chosen_pk) {
+  check(!ops.empty(), "lower_draft: empty draft");
+  TranslatedJob job;
+  {
+    std::vector<std::string> labels;
+    for (const auto* op : ops) labels.push_back(op->label);
+    job.name = join(labels, "+");
+  }
+
+  // ---- single standalone aggregation may use the combiner fast path ----
+  if (ops.size() == 1 && ops[0]->kind == PlanKind::Agg &&
+      profile.map_side_agg && combinable(*ops[0])) {
+    PlanNode* agg = ops[0];
+    PlanNode* child = agg->children[0].get();
+    job.kind = TranslatedJob::Kind::CombineAgg;
+    job.combine_agg_node = agg;
+    InputFile f;
+    if (child->kind == PlanKind::Scan) {
+      f.path = LoweringContext::table_path(child->table);
+    } else {
+      f.path = ctx.op_output_path(child);
+    }
+    f.schema = child->output_schema;  // advisory
+    job.input_files.push_back(std::move(f));
+    Stage st;
+    st.op = agg;
+    st.inputs.push_back(Stage::In{true, 0});
+    st.output_index = 0;
+    job.stages.push_back(st);
+    job.outputs.push_back(JobOutput{ctx.op_output_path(agg), agg->output_schema});
+    return job;
+  }
+
+  // ---- map stages onto indices ----
+  std::map<const PlanNode*, int> stage_of;
+  for (std::size_t i = 0; i < ops.size(); ++i)
+    stage_of[ops[i]] = static_cast<int>(i);
+
+  // Sorting / pure SP jobs run map-only or single-reducer.
+  const bool has_sort =
+      std::any_of(ops.begin(), ops.end(),
+                  [](const PlanNode* n) { return n->kind == PlanKind::Sort; });
+  if (has_sort) job.num_reduce_tasks = 1;
+  if (ops.size() == 1 && ops[0]->kind == PlanKind::SP)
+    job.kind = TranslatedJob::Kind::MapOnly;
+
+  std::map<std::string, int> file_index;  // path -> input_files idx
+  auto intern_file = [&](const std::string& path, const Schema& schema) {
+    auto it = file_index.find(path);
+    if (it != file_index.end()) return it->second;
+    const int idx = static_cast<int>(job.input_files.size());
+    job.input_files.push_back(InputFile{path, schema});
+    file_index[path] = idx;
+    return idx;
+  };
+
+  int next_consumer = 0;
+  std::vector<PendingScanStream> scan_streams;
+
+  // ---- build stages; collect scan streams for sharing ----
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    PlanNode* op = ops[i];
+    Stage st;
+    st.op = op;
+    for (std::size_t c = 0; c < op->children.size(); ++c) {
+      PlanNode* child = op->children[c].get();
+      if (child->is_operation() && in_draft(ops, child)) {
+        st.inputs.push_back(Stage::In{false, stage_of.at(child)});
+        continue;
+      }
+      const auto key_cols = partition_columns_for(op, child, ca, use_chosen_pk);
+      if (child->kind == PlanKind::Scan) {
+        // Scan-backed stream; deferred so shared scans can coalesce.
+        PendingScanStream ps;
+        ps.scan = child;
+        ps.consumer_op = op;
+        for (const auto& k : key_cols) ps.key_cols_base.push_back(unqualify(k));
+        ps.value_cols_base = base_value_columns(*child);
+        ps.stage_index = static_cast<int>(i);
+        ps.input_slot = static_cast<int>(st.inputs.size());
+        st.inputs.push_back(Stage::In{true, -1});  // patched later
+        scan_streams.push_back(std::move(ps));
+        continue;
+      }
+      // Intermediate input: output of a job that ran earlier.
+      Emission e;
+      e.input_file = intern_file(ctx.op_output_path(child), child->output_schema);
+      e.source_tag = static_cast<int>(job.emissions.size());
+      for (const auto& k : key_cols) e.key_exprs.push_back(Expr::make_column(k));
+      // Identity value: the whole intermediate row.
+      for (const auto& col : child->output_schema.columns())
+        e.value_exprs.push_back(Expr::make_column(col.name));
+      e.value_schema = child->output_schema;
+      e.consumers.push_back(Emission::Consumer{next_consumer, nullptr});
+      st.inputs.push_back(Stage::In{true, next_consumer});
+      ++next_consumer;
+      job.emissions.push_back(std::move(e));
+    }
+    job.stages.push_back(std::move(st));
+  }
+
+  // ---- coalesce shared scans (input + transit correlation, VI-A) ----
+  // Group scan streams by (table, key columns); within a group the value
+  // columns become the union and each consumer gets a visibility filter.
+  std::map<std::string, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < scan_streams.size(); ++i) {
+    const auto& ps = scan_streams[i];
+    std::string sig = ps.scan->table + "|" + join(ps.key_cols_base, ",");
+    if (!plain_projection(*ps.scan) || ps.scan->projections.empty())
+      sig += "|nocoalesce" + std::to_string(i);
+    groups[sig].push_back(i);
+  }
+
+  for (auto& [sig, members] : groups) {
+    (void)sig;
+    const PlanNode* first_scan = scan_streams[members[0]].scan;
+    const std::string table = first_scan->table;
+
+    // Union of needed base columns, in base-schema order.
+    std::vector<std::string> union_cols;
+    {
+      std::set<std::string> seen;
+      for (auto m : members)
+        for (const auto& c : scan_streams[m].value_cols_base)
+          if (seen.insert(c).second) union_cols.push_back(c);
+      // Keep deterministic order: by first appearance is fine and stable.
+    }
+
+    Emission e;
+    e.input_file = intern_file(LoweringContext::table_path(table),
+                               Schema{});  // schema filled by executor
+    e.source_tag = static_cast<int>(job.emissions.size());
+    for (const auto& k : scan_streams[members[0]].key_cols_base)
+      e.key_exprs.push_back(Expr::make_column(k));
+    for (const auto& c : union_cols) e.value_exprs.push_back(Expr::make_column(c));
+
+    for (auto m : members) {
+      auto& ps = scan_streams[m];
+      // Rewrite the scan's output to the union so its consumer stage (and
+      // everything bound against the scan's schema upstream) sees the
+      // coalesced row layout, qualified with this instance's alias.
+      Schema new_schema;
+      std::vector<Lineage> new_lineage;
+      std::vector<ExprPtr> new_proj;
+      for (const auto& c : union_cols) {
+        const std::string qual = ps.scan->alias + "." + c;
+        // Take the column type from whichever member scan still projects
+        // it (types are advisory; Values are self-describing at runtime).
+        ValueType t = ValueType::Double;
+        for (auto m2 : members) {
+          if (auto idx = scan_streams[m2].scan->output_schema.find(
+                  scan_streams[m2].scan->alias + "." + c)) {
+            t = scan_streams[m2].scan->output_schema.at(*idx).type;
+            break;
+          }
+        }
+        new_schema.add(qual, t);
+        new_lineage.push_back(Lineage{ColumnId{table, c}});
+        new_proj.push_back(Expr::make_column(qual));
+      }
+      ps.scan->output_schema = new_schema;
+      ps.scan->output_lineage = new_lineage;
+      ps.scan->projections = new_proj;
+
+      e.consumers.push_back(Emission::Consumer{next_consumer, ps.scan->filter});
+      job.stages[static_cast<std::size_t>(ps.stage_index)]
+          .inputs[static_cast<std::size_t>(ps.input_slot)]
+          .index = next_consumer;
+      ++next_consumer;
+    }
+    e.value_schema = Schema{};  // per-consumer views live on the scan nodes
+    job.emissions.push_back(std::move(e));
+  }
+
+  // Coalescing may have widened scan output schemas; refresh every
+  // identity-shaped ancestor in the draft (post-order, so children first)
+  // or later stages would bind column indices against stale layouts.
+  for (PlanNode* op : ops) {
+    if (op->kind == PlanKind::Join && op->projections.empty()) {
+      op->output_schema = Schema::concat(op->children[0]->output_schema,
+                                         op->children[1]->output_schema);
+      op->output_lineage = op->children[0]->output_lineage;
+      op->output_lineage.insert(op->output_lineage.end(),
+                                op->children[1]->output_lineage.begin(),
+                                op->children[1]->output_lineage.end());
+      const Schema& ls = op->children[0]->output_schema;
+      const Schema& rs = op->children[1]->output_schema;
+      for (std::size_t i = 0; i < op->left_keys.size(); ++i) {
+        const auto li = ls.index_of(op->left_keys[i]);
+        const auto ri = rs.index_of(op->right_keys[i]);
+        Lineage merged = op->output_lineage[li];
+        const Lineage& rl = op->output_lineage[ls.size() + ri];
+        merged.insert(rl.begin(), rl.end());
+        op->output_lineage[li] = merged;
+        op->output_lineage[ls.size() + ri] = merged;
+      }
+    } else if ((op->kind == PlanKind::SP && op->projections.empty()) ||
+               op->kind == PlanKind::Sort) {
+      op->output_schema = op->children[0]->output_schema;
+      op->output_lineage = op->children[0]->output_lineage;
+    }
+  }
+
+  // The visibility tag is a 32-bit exclude mask; a common job can carry
+  // at most 32 merged consumers (far beyond any query the paper's rules
+  // produce, but fail loudly rather than overflow).
+  check(next_consumer <= 32, "merged job exceeds 32 consumers");
+
+  // ---- outputs: ops whose plan parent is outside the draft ----
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    PlanNode* op = ops[i];
+    bool parent_inside = false;
+    for (const PlanNode* other : ops) {
+      for (const auto& c : other->children)
+        if (c.get() == op) parent_inside = true;
+    }
+    if (!parent_inside) {
+      job.stages[i].output_index = static_cast<int>(job.outputs.size());
+      job.outputs.push_back(
+          JobOutput{ctx.op_output_path(op), op->output_schema});
+    }
+  }
+  return job;
+}
+
+TranslatedJob lower_scan_only(PlanNode* scan, const LoweringContext& ctx) {
+  check(scan->kind == PlanKind::Scan, "lower_scan_only: not a scan");
+  TranslatedJob job;
+  job.name = "SP-" + scan->table;
+  job.kind = TranslatedJob::Kind::MapOnly;
+  job.input_files.push_back(
+      InputFile{LoweringContext::table_path(scan->table), Schema{}});
+  Stage st;
+  st.op = scan;
+  st.inputs.push_back(Stage::In{true, 0});
+  st.output_index = 0;
+  job.stages.push_back(st);
+  job.outputs.push_back(
+      JobOutput{ctx.scratch_prefix + "/" + job.name, scan->output_schema});
+  return job;
+}
+
+}  // namespace ysmart

@@ -1,0 +1,50 @@
+// Lowering: turn a group of plan operations that will share one
+// MapReduce job (a "draft") into a TranslatedJob.
+//
+// Used by both translators: the baseline lowers every operation as its
+// own single-op draft; YSmart lowers merged drafts. Lowering also
+// performs the common-mapper output sharing of Section VI-A: emissions
+// over the same base table with the same partition-key lineage are
+// coalesced into one tagged emission whose value columns are the union of
+// the consumers' needs, so transit-correlated operations ship each record
+// once.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "translator/correlation.h"
+#include "translator/jobspec.h"
+
+namespace ysmart {
+
+struct LoweringContext {
+  std::string scratch_prefix;  // DFS directory for intermediate outputs
+  /// Base tables live at table_path(name) in the DFS.
+  static std::string table_path(const std::string& table) {
+    return "/tables/" + table;
+  }
+  std::string op_output_path(const PlanNode* op) const {
+    return scratch_prefix + "/" + op->label;
+  }
+};
+
+/// Lower `ops` (plan operations merged into one job, in plan post-order)
+/// into a TranslatedJob.
+///
+/// `use_chosen_pk`: partition aggregations by their correlation-chosen PK
+/// (YSmart) instead of the full grouping key (one-op-per-job baseline).
+/// Standalone combinable aggregations become CombineAgg jobs when the
+/// profile enables map-side aggregation.
+TranslatedJob lower_draft(const std::vector<PlanNode*>& ops,
+                          const CorrelationAnalysis& ca,
+                          const LoweringContext& ctx,
+                          const TranslatorProfile& profile,
+                          bool use_chosen_pk);
+
+/// Lower a plan that is a bare base-table scan (a query with only
+/// selection/projection): one map-only SELECTION-PROJECTION job.
+TranslatedJob lower_scan_only(PlanNode* scan, const LoweringContext& ctx);
+
+}  // namespace ysmart

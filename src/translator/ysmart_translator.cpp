@@ -1,0 +1,251 @@
+#include "translator/ysmart_translator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "plan/prune.h"
+#include "translator/baseline.h"
+#include "translator/correlation.h"
+#include "translator/lowering.h"
+
+namespace ysmart {
+
+namespace {
+
+struct Draft {
+  std::vector<int> op_idx;  // indices into ca.ops(), kept sorted (post-order)
+  bool alive = true;
+};
+
+class Merger {
+ public:
+  Merger(const CorrelationAnalysis& ca) : ca_(ca) {
+    for (std::size_t i = 0; i < ca.ops().size(); ++i) {
+      drafts_.push_back(Draft{{static_cast<int>(i)}, true});
+      draft_of_.push_back(static_cast<int>(i));
+    }
+  }
+
+  /// Step 1 — Rule 1: merge pairs with input + transit correlation.
+  void merge_input_transit() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t a = 0; a < drafts_.size() && !changed; ++a) {
+        if (!drafts_[a].alive) continue;
+        for (std::size_t b = a + 1; b < drafts_.size() && !changed; ++b) {
+          if (!drafts_[b].alive) continue;
+          if (!pairwise_ic_tc(drafts_[a], drafts_[b])) continue;
+          if (depends(static_cast<int>(a), static_cast<int>(b)) ||
+              depends(static_cast<int>(b), static_cast<int>(a)))
+            continue;
+          merge_into(static_cast<int>(a), static_cast<int>(b));
+          changed = true;
+        }
+      }
+    }
+  }
+
+  /// Step 2 — Rules 2-4: job-flow correlation merging.
+  void merge_job_flow() {
+    for (std::size_t j = 0; j < ca_.ops().size(); ++j) {
+      const OpInfo& info = ca_.ops()[j];
+      if (info.pk.empty()) continue;
+      const int dj = draft_of_[j];
+      if (drafts_[static_cast<std::size_t>(dj)].op_idx.size() != 1)
+        continue;  // only standalone jobs merge downstream
+
+      if (info.op->kind == PlanKind::Agg) {
+        // Rule 2: AGGREGATION job with JFC to its only preceding job.
+        const auto kids = ca_.child_ops(info.op);
+        if (kids.size() != 1) continue;
+        const int ci = ca_.index_of(kids[0]);
+        if (ci < 0) continue;
+        if (!info.pk.matches(ca_.ops()[static_cast<std::size_t>(ci)].pk))
+          continue;
+        merge_into(draft_of_[static_cast<std::size_t>(ci)], dj);
+        continue;
+      }
+
+      if (info.op->kind != PlanKind::Join) continue;
+      // Children are scans ("always available") or operations.
+      std::vector<int> child_drafts;   // -1 for scans
+      std::vector<bool> jfc;
+      for (const auto& c : info.op->children) {
+        if (c->kind == PlanKind::Scan) {
+          child_drafts.push_back(-1);
+          jfc.push_back(false);
+          continue;
+        }
+        const int ci = ca_.index_of(c.get());
+        check(ci >= 0, "join child is neither scan nor operation");
+        child_drafts.push_back(draft_of_[static_cast<std::size_t>(ci)]);
+        jfc.push_back(
+            info.pk.matches(ca_.ops()[static_cast<std::size_t>(ci)].pk));
+      }
+
+      // Rule 3: JFC with both children, already in one common job.
+      if (child_drafts[0] >= 0 && child_drafts[0] == child_drafts[1] &&
+          jfc[0] && jfc[1]) {
+        merge_into(child_drafts[0], dj);
+        continue;
+      }
+      // Rule 4: JFC with one child; the other input must be available
+      // before the target job runs (a base table, or a job that can be
+      // ordered first, i.e. one that does not depend on the target).
+      for (std::size_t side = 0; side < 2; ++side) {
+        if (!jfc[side]) continue;
+        const int target = child_drafts[side];
+        const std::size_t other = 1 - side;
+        bool other_ok = true;
+        if (child_drafts[other] >= 0 && child_drafts[other] != target)
+          other_ok = !depends(child_drafts[other], target);
+        else if (child_drafts[other] == target && !jfc[other])
+          other_ok = false;  // same job but keyed differently: impossible
+        if (!other_ok) continue;
+        merge_into(target, dj);
+        break;
+      }
+    }
+  }
+
+  /// Alive drafts in topological execution order.
+  std::vector<std::vector<PlanNode*>> ordered_drafts() const {
+    std::vector<int> alive;
+    for (std::size_t d = 0; d < drafts_.size(); ++d)
+      if (drafts_[d].alive) alive.push_back(static_cast<int>(d));
+    // Kahn's algorithm with deterministic smallest-op-index tie-break.
+    std::vector<int> order;
+    std::set<int> done;
+    while (order.size() < alive.size()) {
+      bool progressed = false;
+      for (int d : alive) {
+        if (done.count(d)) continue;
+        bool ready = true;
+        for (int dep : draft_children(d))
+          if (!done.count(dep)) ready = false;
+        if (ready) {
+          order.push_back(d);
+          done.insert(d);
+          progressed = true;
+        }
+      }
+      check(progressed, "cycle in merged job dependency graph");
+    }
+    std::vector<std::vector<PlanNode*>> out;
+    for (int d : order) {
+      std::vector<PlanNode*> ops;
+      for (int i : drafts_[static_cast<std::size_t>(d)].op_idx)
+        ops.push_back(ca_.ops()[static_cast<std::size_t>(i)].op);
+      out.push_back(std::move(ops));
+    }
+    return out;
+  }
+
+ private:
+  bool pairwise_ic_tc(const Draft& a, const Draft& b) const {
+    // Any member pair with IC+TC qualifies, but every member pair must be
+    // PK-compatible so the merged job keeps a single partition key.
+    bool any = false;
+    for (int i : a.op_idx) {
+      for (int j : b.op_idx) {
+        const auto& pi = ca_.ops()[static_cast<std::size_t>(i)].pk;
+        const auto& pj = ca_.ops()[static_cast<std::size_t>(j)].pk;
+        if (pi.empty() || pj.empty() || !pi.matches(pj)) return false;
+        if (ca_.transit_correlation(i, j)) any = true;
+      }
+    }
+    return any;
+  }
+
+  /// Drafts whose outputs feed draft `d` (direct dependencies).
+  std::set<int> draft_children(int d) const {
+    std::set<int> out;
+    for (int i : drafts_[static_cast<std::size_t>(d)].op_idx) {
+      const PlanNode* op = ca_.ops()[static_cast<std::size_t>(i)].op;
+      for (const auto& c : op->children) {
+        if (!c->is_operation()) continue;
+        const int ci = ca_.index_of(c.get());
+        const int cd = draft_of_[static_cast<std::size_t>(ci)];
+        if (cd != d) out.insert(cd);
+      }
+    }
+    return out;
+  }
+
+  /// True if draft `a` (transitively) depends on draft `b`.
+  bool depends(int a, int b) const {
+    std::set<int> seen;
+    std::vector<int> stack{a};
+    while (!stack.empty()) {
+      const int d = stack.back();
+      stack.pop_back();
+      for (int c : draft_children(d)) {
+        if (c == b) return true;
+        if (seen.insert(c).second) stack.push_back(c);
+      }
+    }
+    return false;
+  }
+
+  void merge_into(int target, int source) {
+    check(target != source, "cannot merge a draft into itself");
+    auto& t = drafts_[static_cast<std::size_t>(target)];
+    auto& s = drafts_[static_cast<std::size_t>(source)];
+    for (int i : s.op_idx) {
+      t.op_idx.push_back(i);
+      draft_of_[static_cast<std::size_t>(i)] = target;
+    }
+    std::sort(t.op_idx.begin(), t.op_idx.end());
+    s.alive = false;
+    s.op_idx.clear();
+  }
+
+  const CorrelationAnalysis& ca_;
+  std::vector<Draft> drafts_;
+  std::vector<int> draft_of_;
+};
+
+}  // namespace
+
+TranslatedQuery translate_ysmart(const PlanPtr& plan,
+                                 const TranslatorProfile& profile,
+                                 const std::string& scratch_prefix,
+                                 const StatsCatalog* stats) {
+  prune_plan(plan);
+  PkSelectionOptions pk_options;
+  pk_options.cost_based = profile.cost_based_pk;
+  pk_options.stats = stats;
+  pk_options.min_groups_for_subset_pk = profile.min_groups_for_subset_pk;
+  CorrelationAnalysis ca(plan, pk_options);
+  if (ca.ops().empty()) {
+    // Pure selection/projection on a base table: a single SP job.
+    TranslatedQuery out;
+    out.plan = plan;
+    out.jobs.push_back(lower_scan_only(plan.get(), {scratch_prefix}));
+    return out;
+  }
+  Merger merger(ca);
+  if (profile.use_input_transit_correlation) merger.merge_input_transit();
+  if (profile.use_job_flow_correlation) merger.merge_job_flow();
+
+  LoweringContext ctx{scratch_prefix};
+  TranslatedQuery out;
+  out.plan = plan;
+  for (const auto& ops : merger.ordered_drafts())
+    out.jobs.push_back(
+        lower_draft(ops, ca, ctx, profile, /*use_chosen_pk=*/true));
+  return out;
+}
+
+TranslatedQuery translate(const PlanPtr& plan, const TranslatorProfile& profile,
+                          const std::string& scratch_prefix,
+                          const StatsCatalog* stats) {
+  return profile.correlation_aware
+             ? translate_ysmart(plan, profile, scratch_prefix, stats)
+             : translate_baseline(plan, profile, scratch_prefix);
+}
+
+}  // namespace ysmart

@@ -1,0 +1,41 @@
+// The YSmart translator: correlation-aware job generation (Section V).
+//
+// Starting from the one-op-per-job drafts, two merging steps run:
+//
+//   Step 1 (Rule 1): independent jobs with input correlation AND transit
+//     correlation merge into a common job (shared table scan, shared
+//     tagged map output).
+//
+//   Step 2 (Rules 2-4, job-flow correlation):
+//     Rule 2 — an AGGREGATION job whose only preceding job has the same
+//       PK merges into it (evaluated in that job's reduce phase).
+//     Rule 3 — a JOIN job with JFC to both preceding jobs merges into
+//       their (already Rule-1-merged) common job's reduce phase.
+//     Rule 4 — a JOIN job with JFC to exactly one preceding job merges
+//       into it provided the other input is available first: either a
+//       base table, or a job that can be ordered ahead (the left/right
+//       child exchange of Section V-B).
+//
+// Both steps can be disabled independently through the profile, which is
+// how the Fig. 9 ablation (one-op-per-job vs IC+TC-only vs all
+// correlations) is produced.
+#pragma once
+
+#include "plan/plan.h"
+#include "stats/stats.h"
+#include "translator/jobspec.h"
+
+namespace ysmart {
+
+/// `stats` (optional) enables the profile's cost-based PK selection.
+TranslatedQuery translate_ysmart(const PlanPtr& plan,
+                                 const TranslatorProfile& profile,
+                                 const std::string& scratch_prefix,
+                                 const StatsCatalog* stats = nullptr);
+
+/// Dispatch on profile.correlation_aware: YSmart-style or baseline.
+TranslatedQuery translate(const PlanPtr& plan, const TranslatorProfile& profile,
+                          const std::string& scratch_prefix,
+                          const StatsCatalog* stats = nullptr);
+
+}  // namespace ysmart

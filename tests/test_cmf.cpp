@@ -1,0 +1,192 @@
+// Unit tests for the Common MapReduce Framework against hand-built
+// TranslatedJobs: tag visibility, value dispatch, post-job computations,
+// multi-output behaviour, the CombineAgg fast path, and the checks that
+// guard malformed job descriptions.
+#include <gtest/gtest.h>
+
+#include "cmf/common_job.h"
+#include "common/error.h"
+#include "mr/engine.h"
+#include "plan/builder.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+
+namespace ysmart {
+namespace {
+
+Schema kv_schema() {
+  Schema s;
+  s.add("k", ValueType::Int);
+  s.add("v", ValueType::Int);
+  return s;
+}
+
+class CmfTest : public ::testing::Test {
+ protected:
+  CmfTest() : dfs_(2, 256, 1), engine_(dfs_, ClusterConfig::small_local(1.0)) {
+    catalog_.register_table("t", kv_schema());
+    auto t = std::make_shared<Table>(kv_schema());
+    for (int i = 0; i < 30; ++i) t->append({Value{i % 5}, Value{i}});
+    dfs_.write("/tables/t", t);
+  }
+
+  Dfs dfs_;
+  Engine engine_;
+  Catalog catalog_;
+  TranslatorProfile profile_ = TranslatorProfile::ysmart();
+};
+
+// Two merged aggregations over the same scan with different filters: the
+// exclude tags must route each record to the right consumers.
+TEST_F(CmfTest, SharedEmissionWithPerConsumerFilters) {
+  // AGG over v<10 and AGG over v>=20, both grouped by k, merged job.
+  auto agg_lo = plan_query(
+      "SELECT k, count(*) AS n FROM t WHERE v < 10 GROUP BY k", catalog_);
+  auto agg_hi = plan_query(
+      "SELECT k, count(*) AS n FROM t WHERE v >= 20 GROUP BY k", catalog_);
+
+  TranslatedJob job;
+  job.name = "merged";
+  job.kind = TranslatedJob::Kind::MapReduce;
+  job.input_files.push_back(InputFile{"/tables/t", Schema{}});
+  Emission e;
+  e.input_file = 0;
+  e.source_tag = 0;
+  e.key_exprs = {Expr::make_column("k")};
+  e.value_exprs = {Expr::make_column("k"), Expr::make_column("v")};
+  e.consumers.push_back(Emission::Consumer{0, parse_expression("v < 10")});
+  e.consumers.push_back(Emission::Consumer{1, parse_expression("v >= 20")});
+  job.emissions.push_back(e);
+
+  Stage s0;
+  s0.op = agg_lo.get();
+  s0.inputs = {Stage::In{true, 0}};
+  s0.output_index = 0;
+  Stage s1;
+  s1.op = agg_hi.get();
+  s1.inputs = {Stage::In{true, 1}};
+  s1.output_index = 1;
+  job.stages = {s0, s1};
+  job.outputs = {JobOutput{"/out/lo", agg_lo->output_schema},
+                 JobOutput{"/out/hi", agg_hi->output_schema}};
+
+  auto spec = build_common_job(job, profile_, dfs_);
+  auto m = engine_.run(spec);
+  ASSERT_FALSE(m.failed);
+
+  // v in 0..29; k = v%5. v<10: 10 rows, 2 per key; v>=20: 10 rows, 2/key.
+  auto lo = dfs_.file("/out/lo").table;
+  auto hi = dfs_.file("/out/hi").table;
+  ASSERT_EQ(lo->row_count(), 5u);
+  ASSERT_EQ(hi->row_count(), 5u);
+  for (const auto& r : lo->rows()) EXPECT_EQ(r[1].as_int(), 2);
+  for (const auto& r : hi->rows()) EXPECT_EQ(r[1].as_int(), 2);
+  // Records passing neither filter (10..19) were never emitted: each of
+  // the 30 input records emits at most one pair.
+  EXPECT_EQ(m.map.output_records, 20u);
+}
+
+TEST_F(CmfTest, PostJobComputationConsumesMergedResults) {
+  // One aggregation stage whose output feeds an SP stage (the "post-job
+  // computation") inside the same reduce invocation; only the SP result
+  // is written.
+  auto agg = plan_query("SELECT k, sum(v) AS s FROM t GROUP BY k", catalog_);
+  PlanPtr sp = std::make_shared<PlanNode>();
+  sp->kind = PlanKind::SP;
+  sp->children = {agg};
+  sp->filter = parse_expression("s > 80");
+  sp->output_schema = agg->output_schema;
+
+  TranslatedJob job;
+  job.name = "agg+post";
+  job.input_files.push_back(InputFile{"/tables/t", Schema{}});
+  Emission e;
+  e.input_file = 0;
+  e.source_tag = 0;
+  e.key_exprs = {Expr::make_column("k")};
+  e.value_exprs = {Expr::make_column("k"), Expr::make_column("v")};
+  e.consumers.push_back(Emission::Consumer{0, nullptr});
+  job.emissions.push_back(e);
+  Stage s0;
+  s0.op = agg.get();
+  s0.inputs = {Stage::In{true, 0}};
+  Stage s1;
+  s1.op = sp.get();
+  s1.inputs = {Stage::In{false, 0}};
+  s1.output_index = 0;
+  job.stages = {s0, s1};
+  job.outputs = {JobOutput{"/out/post", sp->output_schema}};
+
+  engine_.run(build_common_job(job, profile_, dfs_));
+  // sums per key: k gets v in {k, k+5, ..., k+25}: 6 values, sum = 6k+75.
+  // s > 80 keeps k >= 1.
+  EXPECT_EQ(dfs_.file("/out/post").table->row_count(), 4u);
+}
+
+TEST_F(CmfTest, CombineAggMatchesPlainAgg) {
+  auto agg = plan_query("SELECT k, sum(v) AS s, count(*) AS n FROM t GROUP BY k",
+                        catalog_);
+
+  TranslatedJob combine;
+  combine.name = "combine";
+  combine.kind = TranslatedJob::Kind::CombineAgg;
+  combine.combine_agg_node = agg.get();
+  combine.input_files.push_back(InputFile{"/tables/t", Schema{}});
+  Stage st;
+  st.op = agg.get();
+  st.inputs = {Stage::In{true, 0}};
+  st.output_index = 0;
+  combine.stages = {st};
+  combine.outputs = {JobOutput{"/out/combined", agg->output_schema}};
+  auto mc = engine_.run(build_common_job(combine, profile_, dfs_));
+
+  TranslatedJob plain = combine;
+  plain.name = "plain";
+  plain.kind = TranslatedJob::Kind::MapReduce;
+  Emission e;
+  e.input_file = 0;
+  e.source_tag = 0;
+  e.key_exprs = {Expr::make_column("k")};
+  e.value_exprs = {Expr::make_column("k"), Expr::make_column("v")};
+  e.consumers.push_back(Emission::Consumer{0, nullptr});
+  plain.emissions.push_back(e);
+  plain.outputs = {JobOutput{"/out/plain", agg->output_schema}};
+  auto mp = engine_.run(build_common_job(plain, profile_, dfs_));
+
+  EXPECT_TRUE(same_rows_unordered(*dfs_.file("/out/combined").table,
+                                  *dfs_.file("/out/plain").table));
+  // The combiner must shrink the map output: 5 partial pairs vs 30 raws.
+  EXPECT_LT(mc.map.output_records, mp.map.output_records);
+}
+
+TEST_F(CmfTest, MissingInputFileThrows) {
+  TranslatedJob job;
+  job.name = "bad";
+  job.input_files.push_back(InputFile{"/tables/nope", Schema{}});
+  job.outputs = {JobOutput{"/out/x", kv_schema()}};
+  EXPECT_THROW(build_common_job(job, profile_, dfs_), ExecError);
+}
+
+TEST_F(CmfTest, NonDenseSourceTagsRejected) {
+  auto agg = plan_query("SELECT k, count(*) AS n FROM t GROUP BY k", catalog_);
+  TranslatedJob job;
+  job.name = "badtags";
+  job.input_files.push_back(InputFile{"/tables/t", Schema{}});
+  Emission e;
+  e.input_file = 0;
+  e.source_tag = 3;  // must equal its position (0)
+  e.key_exprs = {Expr::make_column("k")};
+  e.value_exprs = {Expr::make_column("k"), Expr::make_column("v")};
+  e.consumers.push_back(Emission::Consumer{0, nullptr});
+  job.emissions.push_back(e);
+  Stage st;
+  st.op = agg.get();
+  st.inputs = {Stage::In{true, 0}};
+  st.output_index = 0;
+  job.stages = {st};
+  job.outputs = {JobOutput{"/out/x", agg->output_schema}};
+  EXPECT_THROW(build_common_job(job, profile_, dfs_), InternalError);
+}
+
+}  // namespace
+}  // namespace ysmart

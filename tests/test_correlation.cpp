@@ -1,0 +1,138 @@
+// Unit tests for correlation detection on the paper's own examples:
+// Q17's IC/TC/JFC structure (Section IV-B), Q-CSA's PK choices, and the
+// correlation report.
+#include <gtest/gtest.h>
+
+#include "data/queries.h"
+#include "data/tpch_gen.h"
+#include "plan/builder.h"
+#include "plan/prune.h"
+#include "translator/correlation.h"
+
+namespace ysmart {
+namespace {
+
+Catalog tpch_catalog() {
+  Catalog c;
+  c.register_table("lineitem", tpch_lineitem_schema());
+  c.register_table("orders", tpch_orders_schema());
+  c.register_table("part", tpch_part_schema());
+  c.register_table("customer", tpch_customer_schema());
+  c.register_table("supplier", tpch_supplier_schema());
+  c.register_table("nation", tpch_nation_schema());
+  Schema cl;
+  cl.add("uid", ValueType::Int);
+  cl.add("page_id", ValueType::Int);
+  cl.add("cid", ValueType::Int);
+  cl.add("ts", ValueType::Int);
+  c.register_table("clicks", cl);
+  return c;
+}
+
+int find_op(const CorrelationAnalysis& ca, const std::string& label) {
+  for (std::size_t i = 0; i < ca.ops().size(); ++i)
+    if (ca.ops()[i].op->label == label) return static_cast<int>(i);
+  return -1;
+}
+
+// Section IV-B: "AGG1 and JOIN1 have transit correlation... JOIN2 has job
+// flow correlation with both AGG1 and JOIN1."
+TEST(Correlation, Q17Structure) {
+  auto p = plan_query(queries::q17().sql, tpch_catalog());
+  CorrelationAnalysis ca(p);
+
+  const int agg1 = find_op(ca, "AGG1");
+  const int join1 = find_op(ca, "JOIN1");
+  const int join2 = find_op(ca, "JOIN2");
+  ASSERT_GE(agg1, 0);
+  ASSERT_GE(join1, 0);
+  ASSERT_GE(join2, 0);
+
+  EXPECT_TRUE(ca.input_correlation(agg1, join1));   // both scan lineitem
+  EXPECT_TRUE(ca.transit_correlation(agg1, join1));  // same PK l_partkey
+  EXPECT_TRUE(ca.job_flow_correlation(join2, agg1));
+  EXPECT_TRUE(ca.job_flow_correlation(join2, join1));
+}
+
+// Q17's final global aggregation has no partition key and no correlation.
+TEST(Correlation, Q17FinalAggUncorrelated) {
+  auto p = plan_query(queries::q17().sql, tpch_catalog());
+  CorrelationAnalysis ca(p);
+  const int agg2 = find_op(ca, "AGG2");
+  ASSERT_GE(agg2, 0);
+  EXPECT_TRUE(ca.ops()[static_cast<std::size_t>(agg2)].pk.empty());
+  const int join2 = find_op(ca, "JOIN2");
+  EXPECT_FALSE(ca.job_flow_correlation(agg2, join2));
+}
+
+// Section VII-A: for Q-CSA "YSmart determines uid as the PK so that AGG1
+// can have job flow correlation with JOIN1" — and the whole chain of five
+// operations is JFC-connected.
+TEST(Correlation, QcsaChainAllJfcConnected) {
+  auto p = plan_query(queries::qcsa().sql, tpch_catalog());
+  CorrelationAnalysis ca(p);
+
+  for (const char* agg : {"AGG1", "AGG2", "AGG3"}) {
+    const int i = find_op(ca, agg);
+    ASSERT_GE(i, 0) << agg;
+    const auto& pk = ca.ops()[static_cast<std::size_t>(i)].pk;
+    ASSERT_EQ(pk.columns.size(), 1u) << agg;
+    EXPECT_EQ(unqualify(pk.columns[0]), "uid") << agg;
+  }
+  // Each consecutive pair in JOIN1 <- AGG1 <- AGG2 <- JOIN2 <- AGG3.
+  const int join1 = find_op(ca, "JOIN1"), agg1 = find_op(ca, "AGG1");
+  const int agg2 = find_op(ca, "AGG2"), join2 = find_op(ca, "JOIN2");
+  const int agg3 = find_op(ca, "AGG3");
+  EXPECT_TRUE(ca.job_flow_correlation(agg1, join1));
+  EXPECT_TRUE(ca.job_flow_correlation(agg2, agg1));
+  EXPECT_TRUE(ca.job_flow_correlation(join2, agg2));
+  EXPECT_TRUE(ca.job_flow_correlation(agg3, join2));
+}
+
+// Q21 sub-tree (Fig. 9 workload): JOIN1, AGG1, AGG2 pairwise transit
+// correlated; the whole five share PK l_orderkey.
+TEST(Correlation, Q21SubtreeTransit) {
+  auto p = plan_query(queries::q21_subtree().sql, tpch_catalog());
+  CorrelationAnalysis ca(p);
+  const int join1 = find_op(ca, "JOIN1");
+  const int agg1 = find_op(ca, "AGG1");
+  const int agg2 = find_op(ca, "AGG2");
+  ASSERT_GE(join1, 0);
+  ASSERT_GE(agg1, 0);
+  ASSERT_GE(agg2, 0);
+  EXPECT_TRUE(ca.transit_correlation(join1, agg1));
+  EXPECT_TRUE(ca.transit_correlation(join1, agg2));
+  EXPECT_TRUE(ca.transit_correlation(agg1, agg2));
+}
+
+TEST(Correlation, AncestorDetection) {
+  auto p = plan_query(queries::q17().sql, tpch_catalog());
+  CorrelationAnalysis ca(p);
+  const auto* join2 = ca.ops()[static_cast<std::size_t>(find_op(ca, "JOIN2"))].op;
+  const auto* agg1 = ca.ops()[static_cast<std::size_t>(find_op(ca, "AGG1"))].op;
+  EXPECT_TRUE(ca.is_ancestor(join2, agg1));
+  EXPECT_FALSE(ca.is_ancestor(agg1, join2));
+}
+
+TEST(Correlation, DirectTablesListScanChildrenOnly) {
+  auto p = plan_query(queries::q17().sql, tpch_catalog());
+  CorrelationAnalysis ca(p);
+  const auto& join1 = ca.ops()[static_cast<std::size_t>(find_op(ca, "JOIN1"))];
+  EXPECT_TRUE(join1.direct_tables.count("lineitem"));
+  EXPECT_TRUE(join1.direct_tables.count("part"));
+  const auto& join2 = ca.ops()[static_cast<std::size_t>(find_op(ca, "JOIN2"))];
+  EXPECT_TRUE(join2.direct_tables.empty());  // both inputs intermediate
+}
+
+TEST(Correlation, ReportMentionsAllOps) {
+  auto p = plan_query(queries::qcsa().sql, tpch_catalog());
+  CorrelationAnalysis ca(p);
+  const std::string r = ca.report();
+  for (const char* label : {"JOIN1", "JOIN2", "AGG1", "AGG2", "AGG3"})
+    EXPECT_NE(r.find(label), std::string::npos) << label;
+  EXPECT_NE(r.find("TC"), std::string::npos);
+  EXPECT_NE(r.find("JFC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ysmart

@@ -1,0 +1,142 @@
+// Unit tests for CSV import/export: parsing, quoting, NULLs, schema
+// inference, round trips, error paths, and loading into a Database.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "api/database.h"
+#include "common/error.h"
+#include "storage/csv.h"
+
+namespace ysmart {
+namespace {
+
+Schema kvs() {
+  Schema s;
+  s.add("k", ValueType::Int);
+  s.add("v", ValueType::Double);
+  s.add("name", ValueType::String);
+  return s;
+}
+
+TEST(Csv, BasicParse) {
+  std::istringstream in("k,v,name\n1,2.5,alice\n2,3.0,bob\n");
+  auto t = read_csv(in, kvs());
+  ASSERT_EQ(t->row_count(), 2u);
+  EXPECT_EQ(t->rows()[0][0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(t->rows()[0][1].as_double(), 2.5);
+  EXPECT_EQ(t->rows()[1][2].as_string(), "bob");
+}
+
+TEST(Csv, NoHeader) {
+  std::istringstream in("1,2.5,alice\n");
+  CsvOptions o;
+  o.header = false;
+  EXPECT_EQ(read_csv(in, kvs(), o)->row_count(), 1u);
+}
+
+TEST(Csv, EmptyFieldsAreNull) {
+  std::istringstream in("k,v,name\n1,,\n");
+  auto t = read_csv(in, kvs());
+  ASSERT_EQ(t->row_count(), 1u);
+  EXPECT_TRUE(t->rows()[0][1].is_null());
+  EXPECT_TRUE(t->rows()[0][2].is_null());
+}
+
+TEST(Csv, QuotedEmptyStringIsNotNull) {
+  std::istringstream in("k,v,name\n1,2.0,\"\"\n");
+  auto t = read_csv(in, kvs());
+  EXPECT_EQ(t->rows()[0][2].as_string(), "");
+}
+
+TEST(Csv, QuotingAndEscapes) {
+  std::istringstream in("k,v,name\n1,2.0,\"has, comma\"\n2,3.0,\"say \"\"hi\"\"\"\n");
+  auto t = read_csv(in, kvs());
+  EXPECT_EQ(t->rows()[0][2].as_string(), "has, comma");
+  EXPECT_EQ(t->rows()[1][2].as_string(), "say \"hi\"");
+}
+
+TEST(Csv, EmbeddedNewlineInQuotes) {
+  std::istringstream in("k,v,name\n1,2.0,\"two\nlines\"\n");
+  auto t = read_csv(in, kvs());
+  EXPECT_EQ(t->rows()[0][2].as_string(), "two\nlines");
+}
+
+TEST(Csv, BlankLinesSkipped) {
+  std::istringstream in("k,v,name\n1,2.0,a\n\n2,3.0,b\n");
+  EXPECT_EQ(read_csv(in, kvs())->row_count(), 2u);
+}
+
+TEST(Csv, BadArityThrows) {
+  std::istringstream in("k,v,name\n1,2.0\n");
+  EXPECT_THROW(read_csv(in, kvs()), ExecError);
+}
+
+TEST(Csv, BadIntThrows) {
+  std::istringstream in("k,v,name\nxx,2.0,a\n");
+  EXPECT_THROW(read_csv(in, kvs()), ExecError);
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  std::istringstream in("k,v,name\n1,2.0,\"oops\n");
+  EXPECT_THROW(read_csv(in, kvs()), ExecError);
+}
+
+TEST(Csv, InferTypes) {
+  std::istringstream in("a,b,c,d\n1,1.5,x,\n2,2,y,\n,3.5,7,\n");
+  auto t = read_csv_infer(in);
+  const Schema& s = t->schema();
+  EXPECT_EQ(s.at(0).type, ValueType::Int);     // 1, 2, NULL
+  EXPECT_EQ(s.at(1).type, ValueType::Double);  // 1.5, 2, 3.5
+  EXPECT_EQ(s.at(2).type, ValueType::String);  // x, y, 7
+  EXPECT_EQ(s.at(3).type, ValueType::String);  // all NULL -> string
+  EXPECT_EQ(s.at(0).name, "a");
+}
+
+TEST(Csv, InferWithoutHeaderSynthesizesNames) {
+  std::istringstream in("1,2\n3,4\n");
+  CsvOptions o;
+  o.header = false;
+  auto t = read_csv_infer(in, o);
+  EXPECT_EQ(t->schema().at(0).name, "col0");
+  EXPECT_EQ(t->schema().at(1).name, "col1");
+}
+
+TEST(Csv, RoundTrip) {
+  Table t(kvs());
+  t.append({Value{1}, Value{2.5}, Value{"plain"}});
+  t.append({Value{-7}, Value::null(), Value{"with, comma"}});
+  t.append({Value{0}, Value{1.0}, Value{"quote\"inside"}});
+  t.append({Value{9}, Value{3.0}, Value{""}});
+  std::ostringstream out;
+  write_csv(t, out);
+  std::istringstream in(out.str());
+  auto back = read_csv(in, kvs());
+  EXPECT_TRUE(same_rows_unordered(t, *back));
+}
+
+TEST(Csv, CustomSeparator) {
+  std::istringstream in("k|v|name\n1|2.0|a\n");
+  CsvOptions o;
+  o.separator = '|';
+  EXPECT_EQ(read_csv(in, kvs(), o)->row_count(), 1u);
+}
+
+TEST(Csv, LoadedTableIsQueryable) {
+  std::istringstream in("k,v,name\n1,10.0,a\n1,20.0,b\n2,5.0,c\n");
+  Database db(ClusterConfig::small_local(1.0));
+  db.create_table("t", read_csv(in, kvs()));
+  auto run = db.run("SELECT k, sum(v) AS s FROM t GROUP BY k",
+                    TranslatorProfile::ysmart());
+  ASSERT_EQ(run.result->row_count(), 2u);
+  EXPECT_TRUE(same_rows_unordered(
+      db.run_reference("SELECT k, sum(v) AS s FROM t GROUP BY k"),
+      *run.result));
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/no/such/file.csv", kvs()), ExecError);
+}
+
+}  // namespace
+}  // namespace ysmart

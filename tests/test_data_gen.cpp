@@ -1,0 +1,163 @@
+// Unit tests for the data generators: schema exactness, determinism,
+// referential integrity, the distribution properties the paper's queries
+// rely on (heavy orders for Q18, late lineitems for Q21, X->Y sessions
+// for Q-CSA).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/clicks_gen.h"
+#include "data/tpch_gen.h"
+
+namespace ysmart {
+namespace {
+
+TpchConfig small_cfg() {
+  TpchConfig c;
+  c.orders = 800;
+  c.parts = 100;
+  c.customers = 80;
+  c.suppliers = 20;
+  return c;
+}
+
+TEST(TpchGen, SchemasMatchTables) {
+  auto d = generate_tpch(small_cfg());
+  EXPECT_EQ(d.lineitem->schema(), tpch_lineitem_schema());
+  EXPECT_EQ(d.orders->schema(), tpch_orders_schema());
+  EXPECT_EQ(d.part->schema(), tpch_part_schema());
+  EXPECT_EQ(d.customer->schema(), tpch_customer_schema());
+  EXPECT_EQ(d.supplier->schema(), tpch_supplier_schema());
+  EXPECT_EQ(d.nation->schema(), tpch_nation_schema());
+}
+
+TEST(TpchGen, RowCounts) {
+  auto d = generate_tpch(small_cfg());
+  EXPECT_EQ(d.orders->row_count(), 800u);
+  EXPECT_EQ(d.part->row_count(), 100u);
+  EXPECT_EQ(d.customer->row_count(), 80u);
+  EXPECT_EQ(d.supplier->row_count(), 20u);
+  EXPECT_EQ(d.nation->row_count(), 25u);
+  EXPECT_GT(d.lineitem->row_count(), d.orders->row_count());
+}
+
+TEST(TpchGen, Deterministic) {
+  auto a = generate_tpch(small_cfg());
+  auto b = generate_tpch(small_cfg());
+  EXPECT_TRUE(same_rows_unordered(*a.lineitem, *b.lineitem));
+  auto cfg2 = small_cfg();
+  cfg2.seed = 999;
+  auto c = generate_tpch(cfg2);
+  EXPECT_FALSE(same_rows_unordered(*a.lineitem, *c.lineitem));
+}
+
+TEST(TpchGen, ReferentialIntegrity) {
+  auto d = generate_tpch(small_cfg());
+  std::set<std::int64_t> orderkeys, partkeys, suppkeys, custkeys;
+  for (const auto& r : d.orders->rows()) {
+    orderkeys.insert(r[0].as_int());
+    custkeys.insert(r[1].as_int());
+  }
+  for (const auto& r : d.lineitem->rows()) {
+    EXPECT_TRUE(orderkeys.count(r[0].as_int()));
+    EXPECT_GE(r[1].as_int(), 1);
+    EXPECT_LE(r[1].as_int(), 100);  // partkey in range
+    EXPECT_GE(r[2].as_int(), 1);
+    EXPECT_LE(r[2].as_int(), 20);  // suppkey in range
+  }
+  for (auto ck : custkeys) {
+    EXPECT_GE(ck, 1);
+    EXPECT_LE(ck, 80);
+  }
+}
+
+TEST(TpchGen, Q21PopulationsExist) {
+  auto d = generate_tpch(small_cfg());
+  int late = 0, f_orders = 0;
+  for (const auto& r : d.lineitem->rows())
+    if (r[6].as_int() > r[5].as_int()) ++late;  // receipt > commit
+  for (const auto& r : d.orders->rows())
+    if (r[2].as_string() == "F") ++f_orders;
+  // Both predicates must select a substantial but partial population.
+  EXPECT_GT(late, static_cast<int>(d.lineitem->row_count()) / 10);
+  EXPECT_LT(late, static_cast<int>(d.lineitem->row_count()) * 9 / 10);
+  EXPECT_GT(f_orders, 100);
+  EXPECT_LT(f_orders, 700);
+}
+
+TEST(TpchGen, Q18HeavyOrdersExist) {
+  auto d = generate_tpch(small_cfg());
+  std::map<std::int64_t, std::int64_t> qty;
+  for (const auto& r : d.lineitem->rows()) qty[r[0].as_int()] += r[3].as_int();
+  int heavy = 0;
+  for (const auto& [k, v] : qty)
+    if (v > 300) ++heavy;
+  EXPECT_GT(heavy, 0);                                 // some qualify
+  EXPECT_LT(heavy, static_cast<int>(qty.size()) / 2);  // most do not
+}
+
+TEST(TpchGen, NationNamesIncludeSaudiArabia) {
+  auto d = generate_tpch(small_cfg());
+  bool found = false;
+  for (const auto& r : d.nation->rows())
+    if (r[1].as_string() == "SAUDI ARABIA") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(ClicksGen, SchemaAndDeterminism) {
+  ClicksConfig c;
+  c.users = 100;
+  auto a = generate_clicks(c);
+  EXPECT_EQ(a->schema(), clicks_schema());
+  auto b = generate_clicks(c);
+  EXPECT_TRUE(same_rows_unordered(*a, *b));
+}
+
+TEST(ClicksGen, TimestampsStrictlyIncreasingPerUser) {
+  ClicksConfig c;
+  c.users = 50;
+  auto t = generate_clicks(c);
+  std::map<std::int64_t, std::int64_t> last_ts;
+  for (const auto& r : t->rows()) {
+    const auto uid = r[0].as_int();
+    const auto ts = r[3].as_int();
+    auto it = last_ts.find(uid);
+    if (it != last_ts.end()) {
+      EXPECT_GT(ts, it->second) << "uid " << uid;
+    }
+    last_ts[uid] = ts;
+  }
+  EXPECT_EQ(last_ts.size(), 50u);  // every user clicked at least once
+}
+
+TEST(ClicksGen, XySessionsExist) {
+  // Q-CSA needs users with a category-1 click followed by a category-2
+  // click; verify the generator produces them.
+  ClicksConfig c;
+  c.users = 200;
+  auto t = generate_clicks(c);
+  std::map<std::int64_t, bool> seen_x;
+  int sessions = 0;
+  for (const auto& r : t->rows()) {
+    const auto uid = r[0].as_int();
+    const auto cid = r[2].as_int();
+    if (cid == 1) seen_x[uid] = true;
+    if (cid == 2 && seen_x[uid]) ++sessions;
+  }
+  EXPECT_GT(sessions, 10);
+}
+
+TEST(ClicksGen, CategoriesInRange) {
+  ClicksConfig c;
+  c.users = 50;
+  c.categories = 7;
+  auto t = generate_clicks(c);
+  for (const auto& r : t->rows()) {
+    EXPECT_GE(r[2].as_int(), 1);
+    EXPECT_LE(r[2].as_int(), 7);
+  }
+}
+
+}  // namespace
+}  // namespace ysmart

@@ -1,0 +1,104 @@
+// Unit tests for the simulated distributed file system: blocking,
+// placement, replication, byte accounting.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "storage/dfs.h"
+
+namespace ysmart {
+namespace {
+
+Schema one_col() {
+  Schema s;
+  s.add("v", ValueType::String);
+  return s;
+}
+
+std::shared_ptr<Table> rows_of_bytes(int rows, int str_len) {
+  auto t = std::make_shared<Table>(one_col());
+  for (int i = 0; i < rows; ++i)
+    t->append({Value{std::string(static_cast<std::size_t>(str_len), 'x')}});
+  return t;
+}
+
+TEST(Dfs, SplitsIntoBlocks) {
+  Dfs dfs(4, /*block_bytes=*/100, /*replication=*/1);
+  // Each row is 4 framing + 2 + 20 = 26 bytes -> 4 rows per 100-byte block.
+  const auto& f = dfs.write("/t", rows_of_bytes(10, 20));
+  EXPECT_GE(f.blocks.size(), 2u);
+  std::size_t rows = 0;
+  std::uint64_t bytes = 0;
+  for (const auto& b : f.blocks) {
+    rows += b.row_count;
+    bytes += b.bytes;
+  }
+  EXPECT_EQ(rows, 10u);
+  EXPECT_EQ(bytes, f.total_bytes);
+  EXPECT_EQ(bytes, f.table->byte_size());
+}
+
+TEST(Dfs, BlockRowRangesAreContiguous) {
+  Dfs dfs(4, 100, 1);
+  const auto& f = dfs.write("/t", rows_of_bytes(17, 20));
+  std::size_t next = 0;
+  for (const auto& b : f.blocks) {
+    EXPECT_EQ(b.first_row, next);
+    next += b.row_count;
+  }
+  EXPECT_EQ(next, 17u);
+}
+
+TEST(Dfs, ReplicationPlacesOnDistinctNodes) {
+  Dfs dfs(5, 100, 3);
+  const auto& f = dfs.write("/t", rows_of_bytes(10, 20));
+  for (const auto& b : f.blocks) {
+    ASSERT_EQ(b.replica_nodes.size(), 3u);
+    EXPECT_NE(b.replica_nodes[0], b.replica_nodes[1]);
+    EXPECT_NE(b.replica_nodes[1], b.replica_nodes[2]);
+  }
+}
+
+TEST(Dfs, ReplicationClampedToNodeCount) {
+  Dfs dfs(2, 100, 3);
+  EXPECT_EQ(dfs.replication(), 2);
+}
+
+TEST(Dfs, EmptyTableStillHasOneBlock) {
+  Dfs dfs(2, 100, 1);
+  const auto& f = dfs.write("/empty", std::make_shared<Table>(one_col()));
+  EXPECT_EQ(f.blocks.size(), 1u);
+  EXPECT_EQ(f.blocks[0].row_count, 0u);
+}
+
+TEST(Dfs, ExistsRemoveList) {
+  Dfs dfs(2, 100, 1);
+  dfs.write("/a", rows_of_bytes(1, 5));
+  dfs.write("/b", rows_of_bytes(1, 5));
+  EXPECT_TRUE(dfs.exists("/a"));
+  EXPECT_EQ(dfs.list().size(), 2u);
+  dfs.remove("/a");
+  EXPECT_FALSE(dfs.exists("/a"));
+  EXPECT_THROW(dfs.file("/a"), ExecError);
+}
+
+TEST(Dfs, OverwriteReplaces) {
+  Dfs dfs(2, 100, 1);
+  dfs.write("/a", rows_of_bytes(1, 5));
+  dfs.write("/a", rows_of_bytes(9, 5));
+  EXPECT_EQ(dfs.file("/a").table->row_count(), 9u);
+}
+
+TEST(Dfs, StoredBytesCountsReplicas) {
+  Dfs dfs(4, 100, 2);
+  dfs.write("/a", rows_of_bytes(4, 20));
+  EXPECT_EQ(dfs.stored_bytes(), dfs.file("/a").total_bytes * 2);
+}
+
+TEST(Dfs, InvalidConfigThrows) {
+  EXPECT_THROW(Dfs(0, 100, 1), InternalError);
+  EXPECT_THROW(Dfs(1, 0, 1), InternalError);
+  EXPECT_THROW(Dfs(1, 100, 0), InternalError);
+}
+
+}  // namespace
+}  // namespace ysmart

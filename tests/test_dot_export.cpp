@@ -1,0 +1,65 @@
+// Unit tests for the Graphviz exports (plan trees and job DAGs).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/queries.h"
+#include "data/tpch_gen.h"
+#include "plan/builder.h"
+#include "plan/printer.h"
+#include "translator/ysmart_translator.h"
+
+namespace ysmart {
+namespace {
+
+Catalog cat() {
+  Catalog c;
+  c.register_table("lineitem", tpch_lineitem_schema());
+  c.register_table("orders", tpch_orders_schema());
+  c.register_table("part", tpch_part_schema());
+  c.register_table("customer", tpch_customer_schema());
+  c.register_table("supplier", tpch_supplier_schema());
+  c.register_table("nation", tpch_nation_schema());
+  return c;
+}
+
+TEST(DotExport, PlanHasNodesAndEdges) {
+  auto p = plan_query(queries::q17().sql, cat());
+  const std::string dot = plan_to_dot(p);
+  EXPECT_EQ(dot.substr(0, 13), "digraph plan ");
+  EXPECT_NE(dot.find("JOIN2"), std::string::npos);
+  EXPECT_NE(dot.find("SCAN(lineitem"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("PK="), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(DotExport, JobDagShowsClustersAndIntermediates) {
+  auto plan = plan_query(queries::q17().sql, cat());
+  auto q = translate_ysmart(plan, TranslatorProfile::ysmart(), "/s");
+  const std::string dot = q.to_dot();
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_1"), std::string::npos);
+  EXPECT_NE(dot.find("/tables/lineitem"), std::string::npos);
+  EXPECT_NE(dot.find("/tables/part"), std::string::npos);
+  // The merged job's output feeds the final aggregation job.
+  EXPECT_NE(dot.find("JOIN2"), std::string::npos);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(DotExport, FilterLiteralsSurviveInLabels) {
+  Catalog c = cat();
+  auto p = plan_query(
+      "SELECT o_orderkey FROM orders WHERE o_orderstatus = 'F'", c);
+  const std::string dot = plan_to_dot(p);
+  EXPECT_NE(dot.find("'F'"), std::string::npos);
+  // Every DOT double quote comes in balanced pairs (none injected raw).
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '"') % 2, 0);
+}
+
+}  // namespace
+}  // namespace ysmart

@@ -1,0 +1,180 @@
+// Unit tests for draft lowering: stream coalescing rules, key/value
+// shapes, intermediate inputs, output wiring, consumer ids.
+#include <gtest/gtest.h>
+
+#include "plan/builder.h"
+#include "plan/prune.h"
+#include "translator/correlation.h"
+#include "translator/lowering.h"
+
+namespace ysmart {
+namespace {
+
+Catalog cat() {
+  Catalog c;
+  Schema clicks;
+  clicks.add("uid", ValueType::Int);
+  clicks.add("cid", ValueType::Int);
+  clicks.add("ts", ValueType::Int);
+  c.register_table("clicks", clicks);
+  Schema li;
+  li.add("l_partkey", ValueType::Int);
+  li.add("l_quantity", ValueType::Int);
+  li.add("l_extendedprice", ValueType::Double);
+  c.register_table("lineitem", li);
+  Schema pa;
+  pa.add("p_partkey", ValueType::Int);
+  pa.add("p_name", ValueType::String);
+  c.register_table("part", pa);
+  return c;
+}
+
+struct Lowered {
+  PlanPtr plan;
+  std::unique_ptr<CorrelationAnalysis> ca;
+  TranslatedJob job;
+};
+
+/// Lower all operations of `sql` as one draft (the caller must pick SQL
+/// whose ops can legally share one job).
+Lowered lower_all(const std::string& sql) {
+  Lowered out;
+  out.plan = plan_query(sql, cat());
+  prune_plan(out.plan);
+  out.ca = std::make_unique<CorrelationAnalysis>(out.plan);
+  std::vector<PlanNode*> ops;
+  for (const auto& info : out.ca->ops()) ops.push_back(info.op);
+  out.job = lower_draft(ops, *out.ca, LoweringContext{"/s"},
+                        TranslatorProfile::ysmart(), /*use_chosen_pk=*/true);
+  return out;
+}
+
+TEST(Lowering, SelfJoinCoalescesToOneEmission) {
+  auto l = lower_all(
+      "SELECT c1.uid, count(*) AS n FROM clicks c1, clicks c2 "
+      "WHERE c1.uid = c2.uid AND c1.cid = 1 AND c2.cid = 2 GROUP BY c1.uid");
+  ASSERT_EQ(l.job.input_files.size(), 1u);
+  ASSERT_EQ(l.job.emissions.size(), 1u);
+  const auto& e = l.job.emissions[0];
+  EXPECT_EQ(e.consumers.size(), 2u);
+  // Both consumers carry their instance's selection filter.
+  ASSERT_TRUE(e.consumers[0].filter != nullptr);
+  ASSERT_TRUE(e.consumers[1].filter != nullptr);
+  EXPECT_NE(e.consumers[0].filter->to_string(),
+            e.consumers[1].filter->to_string());
+  // Key is the join column; values are the union of both sides' needs.
+  ASSERT_EQ(e.key_exprs.size(), 1u);
+  EXPECT_EQ(e.key_exprs[0]->to_string(), "uid");
+}
+
+TEST(Lowering, DifferentKeysDoNotCoalesce) {
+  // Two aggregations over the same table with different keys can share a
+  // job's scan only through separate emissions.
+  auto plan1 = plan_query(
+      "SELECT l_partkey, sum(l_quantity) AS s FROM lineitem GROUP BY l_partkey",
+      cat());
+  auto plan2 = plan_query(
+      "SELECT l_quantity, count(*) AS n FROM lineitem GROUP BY l_quantity",
+      cat());
+  prune_plan(plan1);
+  prune_plan(plan2);
+  // Splice both aggs under a fake common root so one analysis sees them.
+  // (Simpler: lower each separately and verify their emissions differ.)
+  CorrelationAnalysis ca1(plan1), ca2(plan2);
+  auto j1 = lower_draft({ca1.ops()[0].op}, ca1, LoweringContext{"/s"},
+                        TranslatorProfile::pig(), true);
+  auto j2 = lower_draft({ca2.ops()[0].op}, ca2, LoweringContext{"/s"},
+                        TranslatorProfile::pig(), true);
+  ASSERT_EQ(j1.emissions.size(), 1u);
+  ASSERT_EQ(j2.emissions.size(), 1u);
+  EXPECT_NE(j1.emissions[0].key_exprs[0]->to_string(),
+            j2.emissions[0].key_exprs[0]->to_string());
+}
+
+TEST(Lowering, JoinAggShareWithDifferentValueNeeds) {
+  // Q17 shape: AGG needs (partkey, quantity); JOIN needs (partkey,
+  // quantity, extendedprice). The union emission carries all three.
+  auto l = lower_all(
+      "SELECT sum(o.l_extendedprice) AS s "
+      "FROM (SELECT l_partkey, 0.2 * avg(l_quantity) AS t1 FROM lineitem "
+      "      GROUP BY l_partkey) AS i, "
+      "     (SELECT l_partkey, l_quantity, l_extendedprice "
+      "      FROM lineitem, part WHERE p_partkey = l_partkey) AS o "
+      "WHERE o.l_partkey = i.l_partkey AND o.l_quantity < i.t1");
+  // lineitem emission shared by AGG1 + JOIN1; part emission separate.
+  int lineitem_emissions = 0, part_emissions = 0;
+  for (const auto& e : l.job.emissions) {
+    const auto& path =
+        l.job.input_files[static_cast<std::size_t>(e.input_file)].path;
+    if (path == "/tables/lineitem") {
+      ++lineitem_emissions;
+      EXPECT_EQ(e.consumers.size(), 2u);
+      EXPECT_EQ(e.value_exprs.size(), 3u);  // partkey, quantity, extprice
+    }
+    if (path == "/tables/part") ++part_emissions;
+  }
+  EXPECT_EQ(lineitem_emissions, 1);
+  EXPECT_EQ(part_emissions, 1);
+}
+
+TEST(Lowering, IntermediateInputsAreIdentityEmissions) {
+  // Lower only the final aggregation of an agg-over-join query: its child
+  // lives in another draft, so the job reads the intermediate file.
+  auto plan = plan_query(
+      "SELECT m, count(*) AS n FROM "
+      "(SELECT l_partkey, max(l_quantity) AS m FROM lineitem "
+      " GROUP BY l_partkey) AS g GROUP BY m",
+      cat());
+  prune_plan(plan);
+  CorrelationAnalysis ca(plan);
+  ASSERT_EQ(ca.ops().size(), 2u);
+  // Pig's profile disables map-side aggregation, forcing the generic
+  // (emission-based) job shape this test inspects.
+  auto job = lower_draft({ca.ops()[1].op}, ca, LoweringContext{"/s"},
+                         TranslatorProfile::pig(), true);
+  ASSERT_EQ(job.input_files.size(), 1u);
+  EXPECT_EQ(job.input_files[0].path, "/s/" + ca.ops()[0].op->label);
+  ASSERT_EQ(job.emissions.size(), 1u);
+  EXPECT_TRUE(job.emissions[0].consumers[0].filter == nullptr);
+  // Identity value: all columns of the intermediate schema.
+  EXPECT_EQ(job.emissions[0].value_exprs.size(),
+            ca.ops()[0].op->output_schema.size());
+}
+
+TEST(Lowering, OutputsOnlyForOpsWithoutParentInDraft) {
+  auto l = lower_all(
+      "SELECT c1.uid, count(*) AS n FROM clicks c1, clicks c2 "
+      "WHERE c1.uid = c2.uid GROUP BY c1.uid");
+  // JOIN feeds AGG inside the job; only AGG has an output.
+  int with_output = 0;
+  for (const auto& st : l.job.stages)
+    if (st.output_index >= 0) ++with_output;
+  EXPECT_EQ(with_output, 1);
+  ASSERT_EQ(l.job.outputs.size(), 1u);
+  EXPECT_EQ(l.job.stages.back().output_index, 0);
+}
+
+TEST(Lowering, ConsumerIdsAreUniqueAndDense) {
+  auto l = lower_all(
+      "SELECT c1.uid, count(*) AS n FROM clicks c1, clicks c2 "
+      "WHERE c1.uid = c2.uid AND c1.cid = 1 AND c2.cid = 2 GROUP BY c1.uid");
+  std::set<int> ids;
+  for (const auto& e : l.job.emissions)
+    for (const auto& c : e.consumers) ids.insert(c.consumer_id);
+  EXPECT_EQ(static_cast<int>(ids.size()), l.job.total_consumers());
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), l.job.total_consumers() - 1);
+}
+
+TEST(Lowering, ScanOnlyJobIsMapOnly) {
+  auto plan = plan_query("SELECT uid FROM clicks WHERE cid = 3", cat());
+  prune_plan(plan);
+  auto job = lower_scan_only(plan.get(), LoweringContext{"/s"});
+  EXPECT_EQ(job.kind, TranslatedJob::Kind::MapOnly);
+  ASSERT_EQ(job.stages.size(), 1u);
+  EXPECT_EQ(job.stages[0].op->kind, PlanKind::Scan);
+  EXPECT_EQ(job.outputs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ysmart

@@ -1,0 +1,127 @@
+// Unit tests for partition keys: alias classes, matching, aggregation
+// candidates, the PK-selection heuristic (via CorrelationAnalysis).
+#include <gtest/gtest.h>
+
+#include "plan/builder.h"
+#include "plan/partition_key.h"
+#include "translator/correlation.h"
+
+namespace ysmart {
+namespace {
+
+Catalog cat() {
+  Catalog c;
+  Schema clicks;
+  clicks.add("uid", ValueType::Int);
+  clicks.add("cid", ValueType::Int);
+  clicks.add("ts", ValueType::Int);
+  c.register_table("clicks", clicks);
+  Schema li;
+  li.add("l_partkey", ValueType::Int);
+  li.add("l_quantity", ValueType::Int);
+  c.register_table("lineitem", li);
+  Schema pa;
+  pa.add("p_partkey", ValueType::Int);
+  pa.add("p_size", ValueType::Int);
+  c.register_table("part", pa);
+  return c;
+}
+
+TEST(PartitionKey, JoinKeyUnionsAliasClasses) {
+  auto p = plan_query(
+      "SELECT l_quantity FROM lineitem, part WHERE p_partkey = l_partkey",
+      cat());
+  auto pk = join_partition_key(*p);
+  ASSERT_EQ(pk.parts.size(), 1u);
+  EXPECT_TRUE(pk.parts[0].count(ColumnId{"lineitem", "l_partkey"}));
+  EXPECT_TRUE(pk.parts[0].count(ColumnId{"part", "p_partkey"}));
+}
+
+TEST(PartitionKey, MatchesThroughAliasClass) {
+  auto join = plan_query(
+      "SELECT l_quantity FROM lineitem, part WHERE p_partkey = l_partkey",
+      cat());
+  auto agg = plan_query(
+      "SELECT l_partkey, avg(l_quantity) FROM lineitem GROUP BY l_partkey",
+      cat());
+  auto jpk = join_partition_key(*join);
+  auto apk = agg_full_partition_key(*agg);
+  EXPECT_TRUE(jpk.matches(apk));
+  EXPECT_TRUE(apk.matches(jpk));
+}
+
+TEST(PartitionKey, DifferentColumnsDoNotMatch) {
+  auto agg1 = plan_query(
+      "SELECT l_partkey, avg(l_quantity) FROM lineitem GROUP BY l_partkey",
+      cat());
+  auto agg2 = plan_query(
+      "SELECT l_quantity, count(*) FROM lineitem GROUP BY l_quantity", cat());
+  EXPECT_FALSE(agg_full_partition_key(*agg1).matches(
+      agg_full_partition_key(*agg2)));
+}
+
+TEST(PartitionKey, ArityMismatchNeverMatches) {
+  auto agg2col = plan_query(
+      "SELECT uid, ts, count(*) FROM clicks GROUP BY uid, ts", cat());
+  auto agg1col = plan_query(
+      "SELECT uid, count(*) FROM clicks GROUP BY uid", cat());
+  EXPECT_FALSE(agg_full_partition_key(*agg2col)
+                   .matches(agg_full_partition_key(*agg1col)));
+}
+
+TEST(PartitionKey, EmptyNeverMatches) {
+  PartitionKey a, b;
+  EXPECT_FALSE(a.matches(b));
+}
+
+TEST(PartitionKey, CompositeMatchIsPermutationInvariant) {
+  auto a = plan_query(
+      "SELECT uid, ts, count(*) FROM clicks GROUP BY uid, ts", cat());
+  auto b = plan_query(
+      "SELECT ts, uid, count(*) FROM clicks GROUP BY ts, uid", cat());
+  EXPECT_TRUE(agg_full_partition_key(*a).matches(agg_full_partition_key(*b)));
+}
+
+TEST(PartitionKey, AggCandidatesEnumerateSubsets) {
+  auto agg = plan_query(
+      "SELECT uid, ts, count(*) FROM clicks GROUP BY uid, ts", cat());
+  auto cands = agg_partition_key_candidates(*agg);
+  EXPECT_EQ(cands.size(), 3u);  // {uid}, {ts}, {uid,ts}
+}
+
+TEST(PartitionKey, ToStringShowsAliasClasses) {
+  auto p = plan_query(
+      "SELECT l_quantity FROM lineitem, part WHERE p_partkey = l_partkey",
+      cat());
+  const std::string s = join_partition_key(*p).to_string();
+  EXPECT_NE(s.find("lineitem.l_partkey"), std::string::npos);
+  EXPECT_NE(s.find("part.p_partkey"), std::string::npos);
+}
+
+// The Q-CSA heuristic case: AGG over (uid, ts1) under a uid-keyed join
+// must choose (uid) so the whole chain shares one job (Section VII-A.2).
+TEST(PkHeuristic, QcsaAggChoosesUid) {
+  auto p = plan_query(
+      "SELECT c1.uid, c1.ts AS ts1, min(c2.ts) AS ts2 "
+      "FROM clicks c1, clicks c2 "
+      "WHERE c1.uid = c2.uid AND c1.ts < c2.ts AND c1.cid = 1 AND c2.cid = 2 "
+      "GROUP BY c1.uid, ts1",
+      cat());
+  CorrelationAnalysis ca(p);
+  ASSERT_EQ(ca.ops().size(), 2u);  // JOIN1, AGG1
+  const auto& agg_pk = ca.ops()[1].pk;
+  ASSERT_EQ(agg_pk.columns.size(), 1u);
+  EXPECT_EQ(unqualify(agg_pk.columns[0]), "uid");
+}
+
+// With no correlation to exploit, the full grouping key is used.
+TEST(PkHeuristic, StandaloneAggUsesFullKey) {
+  auto p = plan_query(
+      "SELECT uid, ts, count(*) FROM clicks GROUP BY uid, ts", cat());
+  CorrelationAnalysis ca(p);
+  ASSERT_EQ(ca.ops().size(), 1u);
+  EXPECT_EQ(ca.ops()[0].pk.columns.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ysmart

@@ -1,0 +1,118 @@
+// Unit tests for projection pruning: scans narrow to referenced columns,
+// join keys and residual references survive, results are unchanged.
+#include <gtest/gtest.h>
+
+#include "plan/builder.h"
+#include "plan/prune.h"
+#include "refdb/refdb.h"
+
+namespace ysmart {
+namespace {
+
+Catalog cat() {
+  Catalog c;
+  Schema wide;
+  for (const char* col : {"k", "a", "b", "c", "d", "e"})
+    wide.add(col, ValueType::Int);
+  c.register_table("wide", wide);
+  Schema other;
+  other.add("k", ValueType::Int);
+  other.add("x", ValueType::Int);
+  c.register_table("other", other);
+  return c;
+}
+
+std::shared_ptr<Table> wide_data() {
+  auto t = std::make_shared<Table>(cat().schema_of("wide"));
+  for (int i = 0; i < 20; ++i)
+    t->append({Value{i % 4}, Value{i}, Value{i * 2}, Value{i * 3}, Value{i * 4},
+               Value{i * 5}});
+  return t;
+}
+
+std::shared_ptr<Table> other_data() {
+  auto t = std::make_shared<Table>(cat().schema_of("other"));
+  for (int i = 0; i < 4; ++i) t->append({Value{i}, Value{i * 100}});
+  return t;
+}
+
+TableSource source() {
+  return [](const std::string& name) -> std::shared_ptr<const Table> {
+    if (name == "wide") return wide_data();
+    if (name == "other") return other_data();
+    return nullptr;
+  };
+}
+
+TEST(Prune, ScanNarrowsToReferencedColumns) {
+  auto p = plan_query("SELECT a, count(*) AS n FROM wide GROUP BY a", cat());
+  prune_plan(p);
+  const auto& scan = p->children[0];
+  ASSERT_EQ(scan->kind, PlanKind::Scan);
+  EXPECT_EQ(scan->output_schema.size(), 1u);  // only `a` survives
+  EXPECT_EQ(scan->output_schema.at(0).name, "wide.a");
+}
+
+TEST(Prune, FilterColumnsNeedNotSurviveProjection) {
+  // The scan filter runs before projection, so `e` is not in the output.
+  auto p = plan_query("SELECT a FROM wide WHERE e > 10", cat());
+  prune_plan(p);
+  ASSERT_EQ(p->kind, PlanKind::Scan);
+  EXPECT_EQ(p->output_schema.size(), 1u);
+}
+
+TEST(Prune, JoinKeysSurvive) {
+  auto p = plan_query(
+      "SELECT x FROM wide, other WHERE wide.k = other.k AND a < 100", cat());
+  prune_plan(p);
+  ASSERT_EQ(p->kind, PlanKind::Join);
+  // Left scan must still produce the join key.
+  EXPECT_TRUE(p->children[0]->output_schema.find("wide.k").has_value());
+  EXPECT_TRUE(p->children[1]->output_schema.find("other.k").has_value());
+  EXPECT_TRUE(p->children[1]->output_schema.find("other.x").has_value());
+}
+
+TEST(Prune, ResidualColumnsSurvive) {
+  auto p = plan_query(
+      "SELECT x FROM wide, other WHERE wide.k = other.k AND b < x", cat());
+  prune_plan(p);
+  EXPECT_TRUE(p->children[0]->output_schema.find("wide.b").has_value());
+}
+
+TEST(Prune, Idempotent) {
+  auto p = plan_query(
+      "SELECT x FROM wide, other WHERE wide.k = other.k AND b < x", cat());
+  prune_plan(p);
+  const auto schema_once = p->children[0]->output_schema;
+  prune_plan(p);
+  EXPECT_EQ(p->children[0]->output_schema, schema_once);
+}
+
+TEST(Prune, ResultsUnchanged) {
+  for (const char* sql :
+       {"SELECT a, count(*) AS n FROM wide GROUP BY a",
+        "SELECT x FROM wide, other WHERE wide.k = other.k AND b < x",
+        "SELECT a, x FROM wide, other WHERE wide.k = other.k ORDER BY a",
+        "SELECT d FROM wide WHERE c > 6"}) {
+    SCOPED_TRACE(sql);
+    auto p1 = plan_query(sql, cat());
+    auto p2 = plan_query(sql, cat());
+    prune_plan(p2);
+    Table r1 = execute_plan_ref(p1, source());
+    Table r2 = execute_plan_ref(p2, source());
+    EXPECT_TRUE(same_rows_unordered(r1, r2));
+  }
+}
+
+TEST(Prune, SortKeepsKeyColumns) {
+  // ORDER BY keys must be part of the select list (a documented subset
+  // restriction); pruning must keep them in the child.
+  auto p = plan_query("SELECT a, b FROM wide ORDER BY b", cat());
+  prune_plan(p);
+  ASSERT_EQ(p->kind, PlanKind::Sort);
+  EXPECT_TRUE(p->children[0]->output_schema.find("b").has_value());
+  EXPECT_FALSE(p->children[0]->output_schema.find("wide.e").has_value());
+}
+
+}  // namespace
+}  // namespace ysmart

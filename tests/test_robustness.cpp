@@ -1,0 +1,184 @@
+// Robustness properties: the parser never crashes on malformed input,
+// Value ordering is a valid total order, makespan is monotone, the
+// engine's reduce-task accounting scales to large clusters, and explain
+// output is stable.
+#include <gtest/gtest.h>
+
+#include "api/database.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "data/queries.h"
+#include "mr/engine.h"
+#include "sql/parser.h"
+
+namespace ysmart {
+namespace {
+
+// ---- parser fuzz-lite: garbage must throw ParseError, never crash ----
+
+class ParserFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzzTest, MalformedInputThrowsCleanly) {
+  Rng rng(GetParam());
+  static const char* fragments[] = {
+      "select", "from",  "where", "group",  "by",    "order", "join", "on",
+      "(",      ")",     ",",     "*",      "=",     "<",     ">=",   "and",
+      "or",     "not",   "null",  "is",     "count", "sum",   "t",    "a.b",
+      "'str'",  "1.5",   "42",    "as",     "x",     "limit", "<>",   "-",
+      "+",      "/",     "having", "distinct"};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string sql;
+    const int n = static_cast<int>(rng.uniform(1, 18));
+    for (int i = 0; i < n; ++i) {
+      sql += fragments[rng.uniform(0, std::int64_t(std::size(fragments)) - 1)];
+      sql += " ";
+    }
+    try {
+      parse_select(sql);  // parsing may legitimately succeed
+    } catch (const ParseError&) {
+      // expected for most random strings
+    } catch (const std::exception& e) {
+      FAIL() << "non-ParseError exception for: " << sql << " -> " << e.what();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---- Value::compare is a total order ----
+
+TEST(ValueOrdering, TransitiveAntisymmetricOverRandomValues) {
+  Rng rng(5);
+  std::vector<Value> vals;
+  for (int i = 0; i < 60; ++i) {
+    switch (rng.uniform(0, 3)) {
+      case 0: vals.push_back(Value::null()); break;
+      case 1: vals.push_back(Value{rng.uniform(-5, 5)}); break;
+      case 2: vals.push_back(Value{rng.uniform(-5, 5) / 2.0}); break;
+      default: vals.push_back(Value{rng.ident(2)}); break;
+    }
+  }
+  for (const auto& a : vals) {
+    EXPECT_EQ(a.compare(a), std::strong_ordering::equal);
+    for (const auto& b : vals) {
+      const auto ab = a.compare(b);
+      const auto ba = b.compare(a);
+      EXPECT_TRUE((ab < 0 && ba > 0) || (ab > 0 && ba < 0) ||
+                  (ab == 0 && ba == 0));
+      if (ab == 0) {
+        EXPECT_EQ(a.hash(), b.hash());
+      }
+      for (const auto& c : vals) {
+        if (ab <= 0 && b.compare(c) <= 0) {
+          EXPECT_TRUE(a.compare(c) <= 0);
+        }
+      }
+    }
+  }
+}
+
+// ---- makespan properties over random task sets ----
+
+class MakespanPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MakespanPropertyTest, BoundsAndMonotonicity) {
+  Rng rng(GetParam());
+  std::vector<double> tasks;
+  double total = 0, longest = 0;
+  const int n = static_cast<int>(rng.uniform(1, 40));
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.uniform01() * 10 + 0.01;
+    tasks.push_back(t);
+    total += t;
+    longest = std::max(longest, t);
+  }
+  double prev = 1e300;
+  for (int slots : {1, 2, 3, 5, 8, 100}) {
+    const double m = CostModel::makespan(tasks, slots);
+    EXPECT_GE(m + 1e-9, longest);            // never beats the longest task
+    EXPECT_GE(m + 1e-9, total / slots);      // never beats perfect balance
+    EXPECT_LE(m, total + 1e-9);              // never worse than serial
+    EXPECT_LE(m, prev + 1e-9);               // more slots never hurts
+    prev = m;
+  }
+  EXPECT_DOUBLE_EQ(CostModel::makespan(tasks, 1), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MakespanPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// ---- reduce accounting on clusters larger than the simulation cap ----
+
+TEST(ReduceScaling, TargetTasksReportedAndTimeScales) {
+  Schema s;
+  s.add("k", ValueType::Int);
+  auto t = std::make_shared<Table>(s);
+  for (int i = 0; i < 2000; ++i) t->append({Value{i}});
+
+  auto run_on = [&](int nodes) {
+    auto cfg = ClusterConfig::ec2(nodes, 1.0);
+    Dfs dfs(cfg.worker_nodes, cfg.scaled_block_bytes(), cfg.replication);
+    dfs.write("/in", t);
+    Engine engine(dfs, cfg);
+    MRJobSpec spec;
+    spec.name = "ident";
+    spec.inputs = {{"/in", 0}};
+    Schema out;
+    out.add("k", ValueType::Int);
+    out.add("n", ValueType::Int);
+    spec.outputs = {{"/out", out}};
+    struct M final : Mapper {
+      void map(const Row& r, int, MapEmitter& e) override {
+        e.emit(Row{r[0]}, Row{Value{1}});
+      }
+    };
+    struct R final : Reducer {
+      void reduce(const Row& k, std::span<const KeyValue> v,
+                  ReduceEmitter& e) override {
+        e.emit(Row{k[0], Value{static_cast<std::int64_t>(v.size())}});
+      }
+    };
+    spec.make_mapper = [] { return std::make_unique<M>(); };
+    spec.make_reducer = [] { return std::make_unique<R>(); };
+    return engine.run(spec);
+  };
+
+  auto small = run_on(8);
+  auto big = run_on(200);
+  // The reported reduce task count is the cluster's real count, not the
+  // simulator's internal cap.
+  EXPECT_EQ(small.reduce.tasks, 8u);
+  EXPECT_EQ(big.reduce.tasks, 200u);
+  EXPECT_GT(big.reduce.tasks, Engine::kMaxSimReducers);
+  // Identical data, wildly different cluster: identical results.
+  EXPECT_EQ(small.reduce.output_records, big.reduce.output_records);
+}
+
+// ---- explain output is deterministic ----
+
+TEST(ExplainStability, SameTextEveryTime) {
+  Database db(ClusterConfig::small_local(1.0));
+  Schema cl;
+  cl.add("uid", ValueType::Int);
+  cl.add("page_id", ValueType::Int);
+  cl.add("cid", ValueType::Int);
+  cl.add("ts", ValueType::Int);
+  auto t = std::make_shared<Table>(cl);
+  t->append({Value{1}, Value{2}, Value{1}, Value{3}});
+  db.create_table("clicks", t);
+  auto a = db.explain(queries::qcsa().sql, TranslatorProfile::ysmart());
+  auto b = db.explain(queries::qcsa().sql, TranslatorProfile::ysmart());
+  // The scratch run counter differs; normalize it away.
+  auto scrub = [](std::string s) {
+    for (std::size_t p; (p = s.find("/explain")) != std::string::npos;)
+      s.erase(p, s.find('/', p + 1) == std::string::npos
+                     ? s.size() - p
+                     : s.find_first_of(" \n", p) - p);
+    return s;
+  };
+  EXPECT_EQ(scrub(a), scrub(b));
+}
+
+}  // namespace
+}  // namespace ysmart

@@ -1,0 +1,84 @@
+// Unit tests for Schema name resolution — the rules the whole planner
+// relies on: exact match, unqualified-suffix match, alias-through match,
+// ambiguity detection, qualification.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/schema.h"
+
+namespace ysmart {
+namespace {
+
+Schema make() {
+  Schema s;
+  s.add("a.x", ValueType::Int);
+  s.add("a.y", ValueType::Double);
+  s.add("b.x", ValueType::Int);
+  s.add("z", ValueType::String);
+  return s;
+}
+
+TEST(Schema, ExactQualifiedMatch) {
+  EXPECT_EQ(make().index_of("a.x"), 0u);
+  EXPECT_EQ(make().index_of("b.x"), 2u);
+}
+
+TEST(Schema, UnqualifiedSuffixMatch) {
+  EXPECT_EQ(make().index_of("y"), 1u);
+  EXPECT_EQ(make().index_of("z"), 3u);
+}
+
+TEST(Schema, UnqualifiedAmbiguousThrows) {
+  EXPECT_THROW(make().index_of("x"), PlanError);
+}
+
+TEST(Schema, QualifiedMatchesBareStoredName) {
+  // "t.z" resolves to the stored unqualified "z" (alias-through).
+  EXPECT_EQ(make().index_of("t.z"), 3u);
+}
+
+TEST(Schema, QualifiedDoesNotMatchOtherQualifier) {
+  // "c.y" must not hit "a.y" — different qualifier.
+  EXPECT_FALSE(make().find("c.y").has_value());
+}
+
+TEST(Schema, UnknownColumnThrows) {
+  EXPECT_THROW(make().index_of("nope"), PlanError);
+  EXPECT_FALSE(make().find("nope").has_value());
+}
+
+TEST(Schema, CaseInsensitive) {
+  EXPECT_EQ(make().index_of("A.X"), 0u);
+  EXPECT_EQ(make().index_of("Z"), 3u);
+}
+
+TEST(Schema, QualifiedRenamesAll) {
+  Schema q = make().qualified("t1");
+  EXPECT_EQ(q.at(0).name, "t1.x");
+  EXPECT_EQ(q.at(3).name, "t1.z");
+  EXPECT_EQ(q.at(1).type, ValueType::Double);
+}
+
+TEST(Schema, ConcatPreservesOrder) {
+  Schema a;
+  a.add("p", ValueType::Int);
+  Schema b;
+  b.add("q", ValueType::String);
+  Schema c = Schema::concat(a, b);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.at(0).name, "p");
+  EXPECT_EQ(c.at(1).name, "q");
+}
+
+TEST(Schema, Unqualify) {
+  EXPECT_EQ(unqualify("a.b"), "b");
+  EXPECT_EQ(unqualify("plain"), "plain");
+  EXPECT_EQ(unqualify("x.y.z"), "z");
+}
+
+TEST(Schema, ToStringListsColumns) {
+  EXPECT_EQ(make().to_string(), "[a.x:INT, a.y:DOUBLE, b.x:INT, z:STRING]");
+}
+
+}  // namespace
+}  // namespace ysmart

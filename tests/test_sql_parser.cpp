@@ -1,0 +1,212 @@
+// Unit tests for the SQL lexer and parser: tokenization, precedence,
+// FROM-clause forms (aliases, derived tables, explicit joins), clause
+// parsing, and error reporting.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace ysmart {
+namespace {
+
+// ------------------------------- lexer -------------------------------
+
+TEST(Lexer, BasicTokens) {
+  auto t = lex("SELECT a, 1 FROM t");
+  ASSERT_EQ(t.size(), 7u);  // select a , 1 from t END
+  EXPECT_TRUE(t[0].is_ident("select"));
+  EXPECT_EQ(t[1].text, "a");
+  EXPECT_TRUE(t[2].is_symbol(","));
+  EXPECT_EQ(t[3].type, TokenType::Number);
+  EXPECT_EQ(t[6].type, TokenType::End);
+}
+
+TEST(Lexer, KeywordsLowercased) {
+  auto t = lex("SeLeCt");
+  EXPECT_EQ(t[0].text, "select");
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto t = lex("a <= b >= c <> d != e");
+  EXPECT_TRUE(t[1].is_symbol("<="));
+  EXPECT_TRUE(t[3].is_symbol(">="));
+  EXPECT_TRUE(t[5].is_symbol("<>"));
+  EXPECT_TRUE(t[7].is_symbol("<>"));  // != normalizes to <>
+}
+
+TEST(Lexer, Decimals) {
+  auto t = lex("0.2 7.0 .5");
+  EXPECT_EQ(t[0].text, "0.2");
+  EXPECT_EQ(t[1].text, "7.0");
+  EXPECT_EQ(t[2].text, ".5");
+}
+
+TEST(Lexer, StringLiterals) {
+  auto t = lex("'SAUDI ARABIA'");
+  EXPECT_EQ(t[0].type, TokenType::String);
+  EXPECT_EQ(t[0].text, "SAUDI ARABIA");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("'abc"), ParseError);
+}
+
+TEST(Lexer, LineComments) {
+  auto t = lex("a -- comment to end\n b");
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+}
+
+TEST(Lexer, UnexpectedCharThrows) { EXPECT_THROW(lex("a @ b"), ParseError); }
+
+// ------------------------------ parser -------------------------------
+
+TEST(Parser, SimpleSelect) {
+  auto s = parse_select("SELECT a, b AS bb FROM t");
+  ASSERT_EQ(s->items.size(), 2u);
+  EXPECT_EQ(s->items[0].expr->column, "a");
+  EXPECT_EQ(s->items[1].alias, "bb");
+  ASSERT_EQ(s->from.size(), 1u);
+  EXPECT_EQ(s->from[0].table, "t");
+  EXPECT_EQ(s->from[0].alias, "t");
+}
+
+TEST(Parser, ImplicitAliasWithoutAs) {
+  auto s = parse_select("SELECT x FROM clicks c1");
+  EXPECT_EQ(s->from[0].alias, "c1");
+}
+
+TEST(Parser, SelectItemImplicitAlias) {
+  auto s = parse_select("SELECT a aa FROM t");
+  EXPECT_EQ(s->items[0].alias, "aa");
+}
+
+TEST(Parser, TrailingSemicolonOk) {
+  EXPECT_NO_THROW(parse_select("SELECT a FROM t;"));
+}
+
+TEST(Parser, TrailingGarbageThrows) {
+  EXPECT_THROW(parse_select("SELECT a FROM t xyz zzz"), ParseError);
+}
+
+TEST(Parser, Precedence) {
+  auto e = parse_expression("1 + 2 * 3 < 4 AND NOT x = 5 OR y");
+  // ((((1+(2*3))<4) and (not (x=5))) or y)
+  EXPECT_EQ(e->to_string(),
+            "((((1 + (2 * 3)) < 4) and (not (x = 5))) or y)");
+}
+
+TEST(Parser, UnaryMinus) {
+  auto e = parse_expression("-a * 2");
+  EXPECT_EQ(e->to_string(), "((- a) * 2)");
+}
+
+TEST(Parser, Parentheses) {
+  auto e = parse_expression("(1 + 2) * 3");
+  EXPECT_EQ(e->to_string(), "((1 + 2) * 3)");
+}
+
+TEST(Parser, IsNullForms) {
+  EXPECT_EQ(parse_expression("x IS NULL")->to_string(), "(x is null)");
+  EXPECT_EQ(parse_expression("x IS NOT NULL")->to_string(), "(x is not null)");
+}
+
+TEST(Parser, QualifiedColumns) {
+  auto e = parse_expression("c1.uid");
+  EXPECT_EQ(e->kind, ExprKind::ColumnRef);
+  EXPECT_EQ(e->column, "c1.uid");
+}
+
+TEST(Parser, FunctionCalls) {
+  auto e = parse_expression("count(*)");
+  EXPECT_TRUE(e->star);
+  e = parse_expression("count(distinct l_suppkey)");
+  EXPECT_TRUE(e->distinct);
+  EXPECT_EQ(e->args.size(), 1u);
+  e = parse_expression("avg(l_quantity)");
+  EXPECT_EQ(e->op, "avg");
+}
+
+TEST(Parser, AggregateDetection) {
+  EXPECT_TRUE(contains_aggregate(*parse_expression("1 + sum(x)")));
+  EXPECT_FALSE(contains_aggregate(*parse_expression("1 + x")));
+}
+
+TEST(Parser, WhereGroupOrderLimit) {
+  auto s = parse_select(
+      "SELECT a, count(*) c FROM t WHERE a > 1 GROUP BY a "
+      "ORDER BY c DESC, a LIMIT 10");
+  EXPECT_TRUE(s->where != nullptr);
+  ASSERT_EQ(s->group_by.size(), 1u);
+  ASSERT_EQ(s->order_by.size(), 2u);
+  EXPECT_TRUE(s->order_by[0].desc);
+  EXPECT_FALSE(s->order_by[1].desc);
+  EXPECT_EQ(*s->limit, 10);
+}
+
+TEST(Parser, Having) {
+  auto s = parse_select(
+      "SELECT a, sum(b) AS sb FROM t GROUP BY a HAVING sb > 10 ORDER BY sb");
+  ASSERT_TRUE(s->having != nullptr);
+  EXPECT_EQ(s->having->to_string(), "(sb > 10)");
+  ASSERT_EQ(s->order_by.size(), 1u);
+}
+
+TEST(Parser, CommaJoinList) {
+  auto s = parse_select("SELECT x FROM a, b AS bb, c");
+  ASSERT_EQ(s->from.size(), 3u);
+  EXPECT_EQ(s->from[1].alias, "bb");
+  EXPECT_EQ(s->from[2].join, JoinType::None);
+}
+
+TEST(Parser, ExplicitJoins) {
+  auto s = parse_select(
+      "SELECT x FROM a JOIN b ON a.k = b.k "
+      "LEFT OUTER JOIN c ON b.k = c.k "
+      "RIGHT JOIN d ON c.k = d.k "
+      "FULL OUTER JOIN e ON d.k = e.k");
+  ASSERT_EQ(s->from.size(), 5u);
+  EXPECT_EQ(s->from[1].join, JoinType::Inner);
+  EXPECT_EQ(s->from[2].join, JoinType::Left);
+  EXPECT_EQ(s->from[3].join, JoinType::Right);
+  EXPECT_EQ(s->from[4].join, JoinType::Full);
+  EXPECT_TRUE(s->from[4].join_cond != nullptr);
+}
+
+TEST(Parser, InnerJoinKeyword) {
+  auto s = parse_select("SELECT x FROM a INNER JOIN b ON a.k = b.k");
+  EXPECT_EQ(s->from[1].join, JoinType::Inner);
+}
+
+TEST(Parser, DerivedTableRequiresAlias) {
+  auto s = parse_select("SELECT x FROM (SELECT y FROM t) AS d");
+  EXPECT_TRUE(s->from[0].is_subquery());
+  EXPECT_EQ(s->from[0].alias, "d");
+}
+
+TEST(Parser, NestedDerivedTables) {
+  auto s = parse_select(
+      "SELECT a FROM (SELECT b FROM (SELECT c FROM t) AS i) AS o");
+  ASSERT_TRUE(s->from[0].is_subquery());
+  EXPECT_TRUE(s->from[0].subquery->from[0].is_subquery());
+}
+
+TEST(Parser, JoinWithoutOnThrows) {
+  EXPECT_THROW(parse_select("SELECT x FROM a JOIN b"), ParseError);
+}
+
+TEST(Parser, MissingFromThrows) {
+  EXPECT_THROW(parse_select("SELECT x"), ParseError);
+}
+
+TEST(Parser, RoundTripToString) {
+  const char* sql =
+      "SELECT a, sum(b) AS s FROM t WHERE a > 1 GROUP BY a ORDER BY s DESC";
+  auto s1 = parse_select(sql);
+  auto s2 = parse_select(s1->to_string());
+  EXPECT_EQ(s1->to_string(), s2->to_string());
+}
+
+}  // namespace
+}  // namespace ysmart

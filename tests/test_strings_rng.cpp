@@ -1,0 +1,126 @@
+// Unit tests for the string helpers and the deterministic PRNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace ysmart {
+namespace {
+
+TEST(Strings, ToLowerUpper) {
+  EXPECT_EQ(to_lower("AbC_1"), "abc_1");
+  EXPECT_EQ(to_upper("AbC_1"), "ABC_1");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, "+"), "a+b+c");
+  EXPECT_EQ(join({}, "+"), "");
+  EXPECT_EQ(join({"only"}, "+"), "only");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("/tables/x", "/tables/"));
+  EXPECT_FALSE(starts_with("/t", "/tables/"));
+}
+
+TEST(Strings, Strf) {
+  EXPECT_EQ(strf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strf("%.2f", 1.5), "1.50");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng r(7);
+  EXPECT_EQ(r.uniform(5, 5), 5);
+}
+
+TEST(Rng, UniformRejectsInverted) {
+  Rng r(7);
+  EXPECT_THROW(r.uniform(2, 1), InternalError);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 2000, 0.5, 0.05);  // law of large numbers, loose
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 1.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng r(13);
+  EXPECT_THROW(r.exponential(0), InternalError);
+}
+
+TEST(Rng, ZipfSkewFavorsLowRanks) {
+  Rng r(17);
+  int ones = 0, tens = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.zipf(10, 1.2);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 10);
+    if (v == 1) ++ones;
+    if (v == 10) ++tens;
+  }
+  EXPECT_GT(ones, tens * 3);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniformish) {
+  Rng r(19);
+  int low = 0;
+  for (int i = 0; i < 4000; ++i)
+    if (r.zipf(4, 0) <= 2) ++low;
+  EXPECT_NEAR(low / 4000.0, 0.5, 0.06);
+}
+
+TEST(Rng, IdentLengthAndAlphabet) {
+  Rng r(23);
+  const auto s = r.ident(12);
+  EXPECT_EQ(s.size(), 12u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace ysmart

@@ -1,0 +1,221 @@
+// Unit tests for job generation: the paper's exact job structures for
+// every query, shared-scan coalescing, merging rules, profiles.
+#include <gtest/gtest.h>
+
+#include "data/queries.h"
+#include "data/tpch_gen.h"
+#include "plan/builder.h"
+#include "translator/baseline.h"
+#include "translator/ysmart_translator.h"
+
+namespace ysmart {
+namespace {
+
+Catalog cat() {
+  Catalog c;
+  c.register_table("lineitem", tpch_lineitem_schema());
+  c.register_table("orders", tpch_orders_schema());
+  c.register_table("part", tpch_part_schema());
+  c.register_table("customer", tpch_customer_schema());
+  c.register_table("supplier", tpch_supplier_schema());
+  c.register_table("nation", tpch_nation_schema());
+  Schema cl;
+  cl.add("uid", ValueType::Int);
+  cl.add("page_id", ValueType::Int);
+  cl.add("cid", ValueType::Int);
+  cl.add("ts", ValueType::Int);
+  c.register_table("clicks", cl);
+  return c;
+}
+
+TranslatedQuery ys(const std::string& sql) {
+  return translate_ysmart(plan_query(sql, cat()), TranslatorProfile::ysmart(),
+                          "/s");
+}
+
+TranslatedQuery hv(const std::string& sql) {
+  return translate_baseline(plan_query(sql, cat()), TranslatorProfile::hive(),
+                            "/s");
+}
+
+TEST(Translator, JobCountsMatchPaperForAllQueries) {
+  for (const auto* q : queries::all()) {
+    SCOPED_TRACE(q->id);
+    EXPECT_EQ(static_cast<int>(ys(q->sql).jobs.size()), q->ysmart_jobs);
+    EXPECT_EQ(static_cast<int>(hv(q->sql).jobs.size()), q->one_op_jobs);
+  }
+  EXPECT_EQ(ys(queries::q21_subtree().sql).jobs.size(), 1u);
+  EXPECT_EQ(hv(queries::q21_subtree().sql).jobs.size(), 5u);
+}
+
+// Fig. 6: the merged Q17 job reads lineitem and part, evaluates AGG1 and
+// JOIN1 as merged reducers and JOIN2 as the post-job computation, and
+// shares one lineitem scan between AGG1 and JOIN1.
+TEST(Translator, Q17MergedJobStructure) {
+  auto q = ys(queries::q17().sql);
+  ASSERT_EQ(q.jobs.size(), 2u);
+  const TranslatedJob& merged = q.jobs[0];
+  ASSERT_EQ(merged.input_files.size(), 2u);  // lineitem + part, each ONCE
+  std::set<std::string> paths;
+  for (const auto& f : merged.input_files) paths.insert(f.path);
+  EXPECT_TRUE(paths.count("/tables/lineitem"));
+  EXPECT_TRUE(paths.count("/tables/part"));
+
+  // The lineitem emission is shared by two consumers (AGG1 + JOIN1).
+  int lineitem_consumers = 0;
+  for (const auto& e : merged.emissions) {
+    if (merged.input_files[static_cast<std::size_t>(e.input_file)].path ==
+        "/tables/lineitem")
+      lineitem_consumers += static_cast<int>(e.consumers.size());
+  }
+  EXPECT_EQ(lineitem_consumers, 2);
+  EXPECT_EQ(merged.stages.size(), 3u);  // AGG1, JOIN1, JOIN2
+  // Only JOIN2's result leaves the job.
+  int outputs = 0;
+  for (const auto& st : merged.stages)
+    if (st.output_index >= 0) ++outputs;
+  EXPECT_EQ(outputs, 1);
+}
+
+// The Q-CSA merged job must read clicks exactly once (one input file)
+// with three consumers on one coalesced emission: c1 (cid=X), c2 (cid=Y)
+// and the outer join's c — "a single table scan of CLICKS can support
+// all the three instances" (Section I).
+TEST(Translator, QcsaSharedClicksScan) {
+  auto q = ys(queries::qcsa().sql);
+  ASSERT_EQ(q.jobs.size(), 2u);
+  const TranslatedJob& merged = q.jobs[0];
+  ASSERT_EQ(merged.input_files.size(), 1u);
+  EXPECT_EQ(merged.input_files[0].path, "/tables/clicks");
+  ASSERT_EQ(merged.emissions.size(), 1u);
+  EXPECT_EQ(merged.emissions[0].consumers.size(), 3u);
+  EXPECT_EQ(merged.stages.size(), 5u);  // JOIN1, AGG1, AGG2, JOIN2, AGG3
+}
+
+// Rule-1-only translation of the Q21 sub-tree: one common job executing
+// JOIN1+AGG1+AGG2 with three outputs, then JOIN2, then the outer join —
+// exactly Fig. 9's middle configuration.
+TEST(Translator, Q21SubtreeRule1Only) {
+  auto profile = TranslatorProfile::ysmart();
+  profile.use_job_flow_correlation = false;
+  auto q = translate_ysmart(plan_query(queries::q21_subtree().sql, cat()),
+                            profile, "/s");
+  ASSERT_EQ(q.jobs.size(), 3u);
+  EXPECT_EQ(q.jobs[0].outputs.size(), 3u);  // JOIN1, AGG1, AGG2 results
+  EXPECT_EQ(q.jobs[1].outputs.size(), 1u);
+  EXPECT_EQ(q.jobs[2].outputs.size(), 1u);
+}
+
+TEST(Translator, BaselineSingleOpPerJob) {
+  auto q = hv(queries::q17().sql);
+  for (const auto& job : q.jobs) {
+    if (job.kind == TranslatedJob::Kind::CombineAgg) continue;
+    EXPECT_EQ(job.stages.size(), 1u) << job.name;
+  }
+}
+
+TEST(Translator, HiveAggUsesCombiner) {
+  auto q = hv(queries::qagg().sql);
+  ASSERT_EQ(q.jobs.size(), 1u);
+  EXPECT_EQ(q.jobs[0].kind, TranslatedJob::Kind::CombineAgg);
+}
+
+TEST(Translator, PigAggDoesNotCombine) {
+  auto q = translate_baseline(plan_query(queries::qagg().sql, cat()),
+                              TranslatorProfile::pig(), "/s");
+  ASSERT_EQ(q.jobs.size(), 1u);
+  EXPECT_EQ(q.jobs[0].kind, TranslatedJob::Kind::MapReduce);
+}
+
+TEST(Translator, DistinctAggNeverCombines) {
+  auto q = hv("SELECT l_orderkey, count(distinct l_suppkey) AS c "
+              "FROM lineitem GROUP BY l_orderkey");
+  ASSERT_EQ(q.jobs.size(), 1u);
+  EXPECT_EQ(q.jobs[0].kind, TranslatedJob::Kind::MapReduce);
+}
+
+TEST(Translator, SortJobsForceSingleReducer) {
+  auto q = ys("SELECT l_orderkey, l_quantity FROM lineitem "
+              "ORDER BY l_quantity DESC");
+  ASSERT_FALSE(q.jobs.empty());
+  EXPECT_EQ(q.jobs.back().num_reduce_tasks, 1);
+}
+
+TEST(Translator, ResultPathIsLastJobsFirstOutput) {
+  auto q = ys(queries::q17().sql);
+  EXPECT_EQ(q.result_path(), q.jobs.back().outputs[0].path);
+}
+
+TEST(Translator, JobsAreTopologicallyOrdered) {
+  for (const auto* pq : queries::all()) {
+    SCOPED_TRACE(pq->id);
+    auto q = ys(pq->sql);
+    std::set<std::string> produced{"/tables/lineitem", "/tables/orders",
+                                   "/tables/part", "/tables/customer",
+                                   "/tables/supplier", "/tables/nation",
+                                   "/tables/clicks"};
+    for (const auto& job : q.jobs) {
+      for (const auto& in : job.input_files)
+        EXPECT_TRUE(produced.count(in.path))
+            << job.name << " reads unproduced " << in.path;
+      for (const auto& out : job.outputs) produced.insert(out.path);
+    }
+  }
+}
+
+TEST(Translator, DescribeListsJobs) {
+  auto q = ys(queries::qcsa().sql);
+  const std::string d = q.describe();
+  EXPECT_NE(d.find("2 job(s)"), std::string::npos);
+  EXPECT_NE(d.find("/tables/clicks"), std::string::npos);
+}
+
+TEST(Translator, DispatchOnProfile) {
+  auto p1 = plan_query(queries::q17().sql, cat());
+  EXPECT_EQ(translate(p1, TranslatorProfile::ysmart(), "/s").jobs.size(), 2u);
+  auto p2 = plan_query(queries::q17().sql, cat());
+  EXPECT_EQ(translate(p2, TranslatorProfile::hive(), "/s").jobs.size(), 4u);
+}
+
+// Rule 4 with child exchange (the paper's Fig. 7): the final join has
+// JFC with the join+agg chain but not with the second aggregation; the
+// second aggregation's job must be ordered first and the join merges
+// into the chain's job.
+TEST(Translator, Rule4ChildExchange) {
+  Catalog c;
+  Schema f;
+  f.add("k", ValueType::Int);
+  f.add("a", ValueType::Int);
+  f.add("b", ValueType::Int);
+  c.register_table("f", f);
+  Schema d;
+  d.add("k", ValueType::Int);
+  c.register_table("d", d);
+  auto q = translate_ysmart(
+      plan_query("SELECT j.k, j.s, a2.c2 FROM "
+                 "(SELECT f.k AS k, sum(a) AS s FROM f, d "
+                 " WHERE f.k = d.k GROUP BY f.k) AS j, "
+                 "(SELECT b AS bk, count(*) AS c2 FROM f GROUP BY b) AS a2 "
+                 "WHERE j.k = a2.bk",
+                 c),
+      TranslatorProfile::ysmart(), "/s");
+  ASSERT_EQ(q.jobs.size(), 2u);
+  // The standalone aggregation runs first; the merged job consumes its
+  // output as an intermediate input.
+  EXPECT_NE(q.jobs[0].name.find("AGG"), std::string::npos);
+  bool reads_first_jobs_output = false;
+  for (const auto& in : q.jobs[1].input_files)
+    if (in.path == q.jobs[0].outputs[0].path) reads_first_jobs_output = true;
+  EXPECT_TRUE(reads_first_jobs_output);
+  // JOIN1 (inside j), its AGG, and the top JOIN share the second job.
+  EXPECT_EQ(q.jobs[1].stages.size(), 3u);
+}
+
+TEST(Translator, HandCodedSharesYsmartStructure) {
+  auto q = translate(plan_query(queries::q21_subtree().sql, cat()),
+                     TranslatorProfile::hand_coded(), "/s");
+  EXPECT_EQ(q.jobs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ysmart
