@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tags.dir/ablation_tags.cpp.o"
+  "CMakeFiles/ablation_tags.dir/ablation_tags.cpp.o.d"
+  "ablation_tags"
+  "ablation_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_small_cluster.dir/fig10_small_cluster.cpp.o"
+  "CMakeFiles/fig10_small_cluster.dir/fig10_small_cluster.cpp.o.d"
+  "fig10_small_cluster"
+  "fig10_small_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_small_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_facebook_q17.dir/fig12_facebook_q17.cpp.o"
+  "CMakeFiles/fig12_facebook_q17.dir/fig12_facebook_q17.cpp.o.d"
+  "fig12_facebook_q17"
+  "fig12_facebook_q17.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_facebook_q17.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

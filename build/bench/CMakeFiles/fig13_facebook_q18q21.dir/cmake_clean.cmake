@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_facebook_q18q21.dir/fig13_facebook_q18q21.cpp.o"
+  "CMakeFiles/fig13_facebook_q18q21.dir/fig13_facebook_q18q21.cpp.o.d"
+  "fig13_facebook_q18q21"
+  "fig13_facebook_q18q21.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_facebook_q18q21.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

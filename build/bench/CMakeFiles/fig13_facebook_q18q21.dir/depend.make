@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_facebook_q18q21.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clickstream_sessionization.dir/clickstream_sessionization.cpp.o"
+  "CMakeFiles/clickstream_sessionization.dir/clickstream_sessionization.cpp.o.d"
+  "clickstream_sessionization"
+  "clickstream_sessionization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clickstream_sessionization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_correlation.dir/tpch_correlation.cpp.o"
+  "CMakeFiles/tpch_correlation.dir/tpch_correlation.cpp.o.d"
+  "tpch_correlation"
+  "tpch_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ysmart_shell.dir/ysmart_shell.cpp.o"
+  "CMakeFiles/ysmart_shell.dir/ysmart_shell.cpp.o.d"
+  "ysmart_shell"
+  "ysmart_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ysmart_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

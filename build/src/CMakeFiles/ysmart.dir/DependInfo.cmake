@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/database.cpp" "src/CMakeFiles/ysmart.dir/api/database.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/api/database.cpp.o.d"
+  "/root/repo/src/cmf/common_job.cpp" "src/CMakeFiles/ysmart.dir/cmf/common_job.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/cmf/common_job.cpp.o.d"
+  "/root/repo/src/cmf/tags.cpp" "src/CMakeFiles/ysmart.dir/cmf/tags.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/cmf/tags.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/ysmart.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/ysmart.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/schema.cpp" "src/CMakeFiles/ysmart.dir/common/schema.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/common/schema.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/ysmart.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/value.cpp" "src/CMakeFiles/ysmart.dir/common/value.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/common/value.cpp.o.d"
+  "/root/repo/src/data/clicks_gen.cpp" "src/CMakeFiles/ysmart.dir/data/clicks_gen.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/data/clicks_gen.cpp.o.d"
+  "/root/repo/src/data/queries.cpp" "src/CMakeFiles/ysmart.dir/data/queries.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/data/queries.cpp.o.d"
+  "/root/repo/src/data/tpch_gen.cpp" "src/CMakeFiles/ysmart.dir/data/tpch_gen.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/data/tpch_gen.cpp.o.d"
+  "/root/repo/src/exec/aggregates.cpp" "src/CMakeFiles/ysmart.dir/exec/aggregates.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/exec/aggregates.cpp.o.d"
+  "/root/repo/src/exec/expr_eval.cpp" "src/CMakeFiles/ysmart.dir/exec/expr_eval.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/exec/expr_eval.cpp.o.d"
+  "/root/repo/src/exec/operators.cpp" "src/CMakeFiles/ysmart.dir/exec/operators.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/exec/operators.cpp.o.d"
+  "/root/repo/src/mr/cluster.cpp" "src/CMakeFiles/ysmart.dir/mr/cluster.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/mr/cluster.cpp.o.d"
+  "/root/repo/src/mr/cost_model.cpp" "src/CMakeFiles/ysmart.dir/mr/cost_model.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/mr/cost_model.cpp.o.d"
+  "/root/repo/src/mr/engine.cpp" "src/CMakeFiles/ysmart.dir/mr/engine.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/mr/engine.cpp.o.d"
+  "/root/repo/src/mr/job.cpp" "src/CMakeFiles/ysmart.dir/mr/job.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/mr/job.cpp.o.d"
+  "/root/repo/src/mr/keyvalue.cpp" "src/CMakeFiles/ysmart.dir/mr/keyvalue.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/mr/keyvalue.cpp.o.d"
+  "/root/repo/src/mr/metrics.cpp" "src/CMakeFiles/ysmart.dir/mr/metrics.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/mr/metrics.cpp.o.d"
+  "/root/repo/src/plan/builder.cpp" "src/CMakeFiles/ysmart.dir/plan/builder.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/plan/builder.cpp.o.d"
+  "/root/repo/src/plan/partition_key.cpp" "src/CMakeFiles/ysmart.dir/plan/partition_key.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/plan/partition_key.cpp.o.d"
+  "/root/repo/src/plan/plan.cpp" "src/CMakeFiles/ysmart.dir/plan/plan.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/plan/plan.cpp.o.d"
+  "/root/repo/src/plan/printer.cpp" "src/CMakeFiles/ysmart.dir/plan/printer.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/plan/printer.cpp.o.d"
+  "/root/repo/src/plan/prune.cpp" "src/CMakeFiles/ysmart.dir/plan/prune.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/plan/prune.cpp.o.d"
+  "/root/repo/src/refdb/refdb.cpp" "src/CMakeFiles/ysmart.dir/refdb/refdb.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/refdb/refdb.cpp.o.d"
+  "/root/repo/src/sql/ast.cpp" "src/CMakeFiles/ysmart.dir/sql/ast.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/sql/ast.cpp.o.d"
+  "/root/repo/src/sql/lexer.cpp" "src/CMakeFiles/ysmart.dir/sql/lexer.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/sql/lexer.cpp.o.d"
+  "/root/repo/src/sql/parser.cpp" "src/CMakeFiles/ysmart.dir/sql/parser.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/sql/parser.cpp.o.d"
+  "/root/repo/src/stats/stats.cpp" "src/CMakeFiles/ysmart.dir/stats/stats.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/stats/stats.cpp.o.d"
+  "/root/repo/src/storage/catalog.cpp" "src/CMakeFiles/ysmart.dir/storage/catalog.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/storage/catalog.cpp.o.d"
+  "/root/repo/src/storage/csv.cpp" "src/CMakeFiles/ysmart.dir/storage/csv.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/storage/csv.cpp.o.d"
+  "/root/repo/src/storage/dfs.cpp" "src/CMakeFiles/ysmart.dir/storage/dfs.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/storage/dfs.cpp.o.d"
+  "/root/repo/src/storage/table.cpp" "src/CMakeFiles/ysmart.dir/storage/table.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/storage/table.cpp.o.d"
+  "/root/repo/src/translator/baseline.cpp" "src/CMakeFiles/ysmart.dir/translator/baseline.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/translator/baseline.cpp.o.d"
+  "/root/repo/src/translator/correlation.cpp" "src/CMakeFiles/ysmart.dir/translator/correlation.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/translator/correlation.cpp.o.d"
+  "/root/repo/src/translator/dag_executor.cpp" "src/CMakeFiles/ysmart.dir/translator/dag_executor.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/translator/dag_executor.cpp.o.d"
+  "/root/repo/src/translator/jobspec.cpp" "src/CMakeFiles/ysmart.dir/translator/jobspec.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/translator/jobspec.cpp.o.d"
+  "/root/repo/src/translator/lowering.cpp" "src/CMakeFiles/ysmart.dir/translator/lowering.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/translator/lowering.cpp.o.d"
+  "/root/repo/src/translator/ysmart_translator.cpp" "src/CMakeFiles/ysmart.dir/translator/ysmart_translator.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/translator/ysmart_translator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

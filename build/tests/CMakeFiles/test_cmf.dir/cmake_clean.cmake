@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmf.dir/test_cmf.cpp.o"
+  "CMakeFiles/test_cmf.dir/test_cmf.cpp.o.d"
+  "test_cmf"
+  "test_cmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_gen.dir/test_data_gen.cpp.o"
+  "CMakeFiles/test_data_gen.dir/test_data_gen.cpp.o.d"
+  "test_data_gen"
+  "test_data_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

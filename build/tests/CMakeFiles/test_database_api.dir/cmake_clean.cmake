@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_database_api.dir/test_database_api.cpp.o"
+  "CMakeFiles/test_database_api.dir/test_database_api.cpp.o.d"
+  "test_database_api"
+  "test_database_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_database_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_key.dir/test_partition_key.cpp.o"
+  "CMakeFiles/test_partition_key.dir/test_partition_key.cpp.o.d"
+  "test_partition_key"
+  "test_partition_key.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_key.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_differential.dir/test_property_differential.cpp.o"
+  "CMakeFiles/test_property_differential.dir/test_property_differential.cpp.o.d"
+  "test_property_differential"
+  "test_property_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refdb.dir/test_refdb.cpp.o"
+  "CMakeFiles/test_refdb.dir/test_refdb.cpp.o.d"
+  "test_refdb"
+  "test_refdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semantics_subset.dir/test_semantics_subset.cpp.o"
+  "CMakeFiles/test_semantics_subset.dir/test_semantics_subset.cpp.o.d"
+  "test_semantics_subset"
+  "test_semantics_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semantics_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

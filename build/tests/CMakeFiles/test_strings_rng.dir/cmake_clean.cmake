@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strings_rng.dir/test_strings_rng.cpp.o"
+  "CMakeFiles/test_strings_rng.dir/test_strings_rng.cpp.o.d"
+  "test_strings_rng"
+  "test_strings_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strings_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
