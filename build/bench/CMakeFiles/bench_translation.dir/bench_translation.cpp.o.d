@@ -212,21 +212,36 @@ bench/CMakeFiles/bench_translation.dir/bench_translation.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/mr/engine.h \
- /root/repo/src/common/rng.h /root/repo/src/mr/cluster.h \
- /root/repo/src/mr/cost_model.h /root/repo/src/mr/job.h \
+ /root/repo/src/common/rng.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/thread /root/repo/src/mr/cluster.h \
+ /root/repo/src/mr/cost_model.h /root/repo/src/mr/job.h \
  /usr/include/c++/12/span /root/repo/src/common/schema.h \
  /usr/include/c++/12/optional /root/repo/src/common/value.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/mr/keyvalue.h /root/repo/src/mr/metrics.h \
- /root/repo/src/storage/dfs.h /root/repo/src/storage/table.h \
- /root/repo/src/plan/plan.h /root/repo/src/sql/ast.h \
- /root/repo/src/refdb/refdb.h /root/repo/src/stats/stats.h \
- /root/repo/src/plan/partition_key.h /root/repo/src/storage/catalog.h \
+ /usr/include/c++/12/variant /root/repo/src/mr/keyvalue.h \
+ /root/repo/src/mr/metrics.h /root/repo/src/storage/dfs.h \
+ /root/repo/src/storage/table.h /root/repo/src/plan/plan.h \
+ /root/repo/src/sql/ast.h /root/repo/src/refdb/refdb.h \
+ /root/repo/src/stats/stats.h /root/repo/src/plan/partition_key.h \
+ /root/repo/src/storage/catalog.h \
  /root/repo/src/translator/dag_executor.h \
  /root/repo/src/translator/jobspec.h /root/repo/src/data/clicks_gen.h \
  /root/repo/src/data/queries.h /root/repo/src/data/tpch_gen.h \

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/rng.cpp" "src/CMakeFiles/ysmart.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/common/rng.cpp.o.d"
   "/root/repo/src/common/schema.cpp" "src/CMakeFiles/ysmart.dir/common/schema.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/common/schema.cpp.o.d"
   "/root/repo/src/common/strings.cpp" "src/CMakeFiles/ysmart.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/ysmart.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/common/thread_pool.cpp.o.d"
   "/root/repo/src/common/value.cpp" "src/CMakeFiles/ysmart.dir/common/value.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/common/value.cpp.o.d"
   "/root/repo/src/data/clicks_gen.cpp" "src/CMakeFiles/ysmart.dir/data/clicks_gen.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/data/clicks_gen.cpp.o.d"
   "/root/repo/src/data/queries.cpp" "src/CMakeFiles/ysmart.dir/data/queries.cpp.o" "gcc" "src/CMakeFiles/ysmart.dir/data/queries.cpp.o.d"

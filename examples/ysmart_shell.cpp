@@ -45,6 +45,12 @@ void run_sql(Database& db, const TranslatorProfile& profile,
       return;
     }
     auto run = db.run(sql, profile);
+    if (run.metrics.failed()) {
+      std::cout << strf("query DNF after %d job(s): %s\n",
+                        run.metrics.job_count(),
+                        run.metrics.fail_reason().c_str());
+      return;
+    }
     std::cout << run.result->to_string(25);
     std::cout << strf("(%zu rows; %d job(s); %.1f simulated seconds; "
                       "profile %s)\n",
@@ -147,6 +153,10 @@ int main(int argc, char** argv) {
         std::getline(iss, rest);
         try {
           auto run = db.run(rest, profile);
+          if (run.metrics.failed()) {
+            std::cout << "query DNF: " << run.metrics.fail_reason() << "\n";
+            continue;
+          }
           write_csv_file(*run.result, path);
           std::cout << "wrote " << run.result->row_count() << " rows to "
                     << path << "\n";

@@ -340,6 +340,11 @@ MRJobSpec build_common_job(const TranslatedJob& job,
     for (const auto& v : e.value_exprs) ce.values.emplace_back(v, fs);
     for (const auto& c : e.consumers) {
       CompiledConsumer cc;
+      // The visibility tag is a 32-bit exclude mask (KeyValue::exclude);
+      // a consumer id outside [0, 32) would shift out of range at map
+      // time, so reject it once here at job-compile time.
+      check(c.consumer_id >= 0 && c.consumer_id < 32,
+            "consumer id does not fit the 32-bit visibility mask");
       cc.bit = c.consumer_id;
       if (c.filter) {
         cc.filter = BoundExpr(c.filter, fs);

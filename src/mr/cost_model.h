@@ -44,6 +44,9 @@ class CostModel {
  public:
   explicit CostModel(const ClusterConfig& cfg) : cfg_(cfg) {}
 
+  // The per-task costing functions are pure reads of the cluster config;
+  // the engine calls them concurrently from thread-pool workers while
+  // map tasks / reduce partitions execute in parallel.
   double map_task_seconds(const MapTaskWork& w, double cpu_multiplier) const;
   double reduce_task_seconds(const ReduceTaskWork& w,
                              double cpu_multiplier) const;

@@ -1,9 +1,8 @@
 #include "mr/engine.h"
 
 #include <algorithm>
-#include <future>
 #include <memory>
-#include <thread>
+#include <queue>
 
 #include "common/error.h"
 #include "common/strings.h"
@@ -50,7 +49,10 @@ struct MapTaskResult {
   MapTaskWork work;
 };
 
-/// Collects reduce output rows per job output and counts bytes.
+/// Collects reduce output rows per job output and counts bytes. One
+/// instance exists per reduce partition so partitions can run
+/// concurrently; the engine concatenates the partition tables in
+/// partition order afterwards.
 class CollectingReduceEmitter final : public ReduceEmitter {
  public:
   explicit CollectingReduceEmitter(const std::vector<JobOutput>& outputs) {
@@ -103,13 +105,143 @@ MapTaskResult run_map_task(const MRJobSpec& spec, const MapTaskDef& task,
   return res;
 }
 
+/// K-way merge of the map tasks' already-sorted partition-`p` buckets
+/// (the reduce-side merge in Hadoop). Ties are broken by map task index,
+/// and within one bucket the order is preserved, so the output is exactly
+/// what concatenating in task order and stable-sorting would produce —
+/// without re-sorting sorted runs.
+std::vector<KeyValue> merge_sorted_buckets(std::vector<MapTaskResult>& results,
+                                           std::size_t p) {
+  struct Cursor {
+    std::size_t task;  // index into results
+    std::size_t pos;   // position within the bucket
+  };
+  std::size_t total = 0;
+  std::vector<std::size_t> live;  // tasks with a non-empty bucket p
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    total += results[t].buckets[p].size();
+    if (!results[t].buckets[p].empty()) live.push_back(t);
+  }
+  std::vector<KeyValue> out;
+  out.reserve(total);
+  if (live.size() == 1) {
+    out = std::move(results[live[0]].buckets[p]);
+    results[live[0]].buckets[p].clear();
+    return out;
+  }
+
+  // Min-heap: smallest (key, source, task index) on top.
+  auto greater = [&](const Cursor& a, const Cursor& b) {
+    const KeyValue& ka = results[a.task].buckets[p][a.pos];
+    const KeyValue& kb = results[b.task].buckets[p][b.pos];
+    if (kv_less(ka, kb)) return false;
+    if (kv_less(kb, ka)) return true;
+    return a.task > b.task;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(
+      greater);
+  for (std::size_t t : live) heap.push(Cursor{t, 0});
+  while (!heap.empty()) {
+    const Cursor c = heap.top();
+    heap.pop();
+    auto& bucket = results[c.task].buckets[p];
+    out.push_back(std::move(bucket[c.pos]));
+    if (c.pos + 1 < bucket.size()) heap.push(Cursor{c.task, c.pos + 1});
+  }
+  for (std::size_t t : live) results[t].buckets[p].clear();
+  return out;
+}
+
+/// Everything one reduce partition produces; aggregated into JobMetrics
+/// and the DFS output tables in fixed partition order by the caller.
+struct PartitionResult {
+  ReduceTaskWork work;
+  double task_seconds = 0;
+  std::vector<std::shared_ptr<Table>> tables;  // one per job output
+};
+
+PartitionResult run_reduce_partition(const MRJobSpec& spec,
+                                     std::vector<MapTaskResult>& map_results,
+                                     std::size_t p, const ClusterConfig& cfg,
+                                     const CostModel& cost,
+                                     double reducer_scale, int attempts) {
+  PartitionResult res;
+  std::vector<KeyValue> part = merge_sorted_buckets(map_results, p);
+
+  ReduceTaskWork& w = res.work;
+  for (const auto& kv : part)
+    w.shuffle_bytes_raw +=
+        kv_byte_size(kv, spec.num_merged_jobs, spec.tag_encoding);
+  w.shuffle_bytes_raw = static_cast<std::uint64_t>(
+      w.shuffle_bytes_raw * spec.intermediate_expansion);
+  w.shuffle_bytes_wire =
+      cfg.compression.enabled
+          ? static_cast<std::uint64_t>(w.shuffle_bytes_raw *
+                                       cfg.compression.ratio)
+          : w.shuffle_bytes_raw;
+  w.input_records = part.size();
+
+  CollectingReduceEmitter emitter(spec.outputs);
+  auto reducer = spec.make_reducer();
+  check(reducer != nullptr, "reducer factory returned null");
+  std::size_t i = 0;
+  while (i < part.size()) {
+    std::size_t j = i + 1;
+    while (j < part.size() && compare_rows(part[i].key, part[j].key) == 0) ++j;
+    reducer->reduce(part[i].key,
+                    std::span<const KeyValue>(part.data() + i, j - i),
+                    emitter);
+    i = j;
+  }
+  w.output_records = emitter.records();
+  w.output_bytes = emitter.bytes();
+  res.tables = std::move(emitter.tables());
+
+  // Model the cost of one of the cluster's real reduce tasks: this sim
+  // partition stands for 1/reducer_scale of them, each carrying a
+  // reducer_scale share of its data.
+  ReduceTaskWork real_task = w;
+  real_task.shuffle_bytes_raw =
+      static_cast<std::uint64_t>(w.shuffle_bytes_raw * reducer_scale);
+  real_task.shuffle_bytes_wire =
+      static_cast<std::uint64_t>(w.shuffle_bytes_wire * reducer_scale);
+  real_task.input_records =
+      static_cast<std::uint64_t>(w.input_records * reducer_scale);
+  real_task.output_records =
+      static_cast<std::uint64_t>(w.output_records * reducer_scale);
+  real_task.output_bytes =
+      static_cast<std::uint64_t>(w.output_bytes * reducer_scale);
+  // Every attempt (the successful one plus simulated failures, decided by
+  // the engine before fan-out) pays the full task cost.
+  res.task_seconds = attempts * cost.reduce_task_seconds(
+                                    real_task, spec.reduce_cpu_multiplier);
+  return res;
+}
+
 }  // namespace
 
-Engine::Engine(Dfs& dfs, ClusterConfig cfg)
+Engine::Engine(Dfs& dfs, ClusterConfig cfg, ThreadPool* pool)
     : dfs_(dfs),
       cfg_(std::move(cfg)),
       cost_(cfg_),
-      contention_rng_(cfg_.contention.seed) {}
+      contention_rng_(cfg_.contention.seed),
+      pool_(pool ? pool : &ThreadPool::shared()) {}
+
+Engine::AttemptPlan Engine::draw_attempts() {
+  AttemptPlan plan;
+  // Same RNG consumption as the historical unbounded retry loop: one
+  // uniform01 draw per attempt until one succeeds — except the loop stops
+  // at kMaxTaskAttempts, which keeps task_failure_rate >= 1.0 finite.
+  while (cfg_.task_failure_rate > 0 &&
+         contention_rng_.uniform01() < cfg_.task_failure_rate) {
+    if (plan.attempts == kMaxTaskAttempts) {
+      plan.exhausted = true;
+      break;
+    }
+    ++plan.attempts;
+  }
+  return plan;
+}
 
 JobMetrics Engine::run(const MRJobSpec& spec) {
   check(!spec.outputs.empty(), "job needs at least one output");
@@ -161,27 +293,20 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
   const double reducer_scale =
       static_cast<double>(num_reducers) / static_cast<double>(target_reducers);
 
-  // ---- execute map tasks on a thread pool ----
+  // ---- execute map tasks on the shared thread pool ----
   std::vector<MapTaskResult> results(tasks.size());
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t stride = std::max<std::size_t>(1, tasks.size() / (hw * 2) + 1);
-  {
-    std::vector<std::future<void>> futs;
-    for (std::size_t start = 0; start < tasks.size(); start += stride) {
-      const std::size_t stop = std::min(tasks.size(), start + stride);
-      futs.push_back(std::async(std::launch::async, [&, start, stop] {
-        for (std::size_t i = start; i < stop; ++i)
-          results[i] = run_map_task(spec, tasks[i], num_reducers);
-      }));
-    }
-    for (auto& f : futs) f.get();
-  }
+  pool_->parallel_for(tasks.size(), /*grain=*/0,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i)
+                          results[i] = run_map_task(spec, tasks[i], num_reducers);
+                      });
 
   // ---- measure + cost the map phase ----
   std::vector<double> map_task_times;
   map_task_times.reserve(results.size());
   std::uint64_t map_out_bytes_raw = 0;
-  for (auto& r : results) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto& r = results[i];
     r.work.output_bytes_raw = static_cast<std::uint64_t>(
         r.work.output_bytes_raw * spec.intermediate_expansion);
     r.work.output_bytes_wire =
@@ -195,13 +320,18 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     m.map.output_bytes += r.work.output_bytes_raw;
     if (!r.work.local_read) m.remote_read_bytes += r.work.input_bytes;
     map_out_bytes_raw += r.work.output_bytes_raw;
-    double task_s = cost_.map_task_seconds(r.work, spec.map_cpu_multiplier);
     // Fault tolerance: a failed attempt is re-executed from its
-    // materialized input; the attempt's time is paid again.
-    while (cfg_.task_failure_rate > 0 &&
-           contention_rng_.uniform01() < cfg_.task_failure_rate)
-      task_s += cost_.map_task_seconds(r.work, spec.map_cpu_multiplier);
-    map_task_times.push_back(task_s);
+    // materialized input; every attempt's time is paid.
+    const AttemptPlan plan = draw_attempts();
+    map_task_times.push_back(
+        plan.attempts * cost_.map_task_seconds(r.work, spec.map_cpu_multiplier));
+    if (plan.exhausted && !m.failed) {
+      m.failed = true;
+      m.fail_reason =
+          strf("map task %zu failed %d consecutive attempts "
+               "(task_failure_rate=%.2f)",
+               i, kMaxTaskAttempts, cfg_.task_failure_rate);
+    }
   }
   m.map.tasks = results.size();
   m.map_time_s = CostModel::makespan(map_task_times, map_slots);
@@ -216,7 +346,7 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
                                   kMaterializationCopies * cfg_.sim_scale;
   const double capacity =
       static_cast<double>(cfg_.local_disk_capacity_bytes) * cfg_.worker_nodes;
-  if (stored_sim_bytes > capacity) {
+  if (stored_sim_bytes > capacity && !m.failed) {
     m.failed = true;
     m.fail_reason = strf(
         "intermediate data (%.1f GB) exceeds local disk capacity (%.1f GB)",
@@ -225,86 +355,52 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
   }
 
   if (map_only) {
-    // Map output rows go straight to DFS output 0 (value part).
+    // Map output rows go straight to DFS output 0 (value part). The
+    // job's final output is the map phase's output (m.map.output_*);
+    // reduce metrics stay zero — see the convention note in metrics.h.
     auto out = std::make_shared<Table>(spec.outputs[0].schema);
     for (auto& r : results)
       for (auto& bucket : r.buckets)
         for (auto& kv : bucket) out->append(std::move(kv.value));
-    m.reduce.output_records = out->row_count();
-    m.reduce.output_bytes = out->byte_size();
     m.dfs_write_bytes = out->byte_size() * cfg_.replication;
     dfs_.write(spec.outputs[0].path, std::move(out));
     return m;
   }
 
-  // ---- shuffle + reduce, partition by partition ----
-  CollectingReduceEmitter out_emitter(spec.outputs);
+  // ---- shuffle + reduce, partitions in parallel on the pool ----
+  // All failure-retry draws happen here, in partition order on this
+  // thread, so the RNG stream (and thus every simulated second) is
+  // independent of pool size and scheduling order.
+  std::vector<AttemptPlan> plans;
+  plans.reserve(static_cast<std::size_t>(num_reducers));
+  for (int p = 0; p < num_reducers; ++p) plans.push_back(draw_attempts());
+
+  std::vector<PartitionResult> parts(static_cast<std::size_t>(num_reducers));
+  pool_->parallel_for(
+      static_cast<std::size_t>(num_reducers), /*grain=*/1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t p = begin; p < end; ++p)
+          parts[p] = run_reduce_partition(spec, results, p, cfg_, cost_,
+                                          reducer_scale, plans[p].attempts);
+      });
+
+  // ---- aggregate partition metrics in fixed partition order ----
   std::vector<double> reduce_task_times;
   reduce_task_times.reserve(static_cast<std::size_t>(num_reducers));
   for (int p = 0; p < num_reducers; ++p) {
-    std::vector<KeyValue> part;
-    for (auto& r : results) {
-      auto& b = r.buckets[static_cast<std::size_t>(p)];
-      part.insert(part.end(), std::make_move_iterator(b.begin()),
-                  std::make_move_iterator(b.end()));
-      b.clear();
+    const auto& pr = parts[static_cast<std::size_t>(p)];
+    m.shuffle_bytes_raw += pr.work.shuffle_bytes_raw;
+    m.shuffle_bytes_wire += pr.work.shuffle_bytes_wire;
+    m.reduce.input_records += pr.work.input_records;
+    m.reduce.input_bytes += pr.work.shuffle_bytes_raw;
+    reduce_task_times.push_back(pr.task_seconds);
+    if (plans[static_cast<std::size_t>(p)].exhausted && !m.failed) {
+      m.failed = true;
+      m.fail_reason =
+          strf("reduce partition %d failed %d consecutive attempts "
+               "(task_failure_rate=%.2f)",
+               p, kMaxTaskAttempts, cfg_.task_failure_rate);
     }
-    std::stable_sort(part.begin(), part.end(), kv_less);
-
-    ReduceTaskWork w;
-    for (const auto& kv : part)
-      w.shuffle_bytes_raw +=
-          kv_byte_size(kv, spec.num_merged_jobs, spec.tag_encoding);
-    w.shuffle_bytes_raw = static_cast<std::uint64_t>(
-        w.shuffle_bytes_raw * spec.intermediate_expansion);
-    w.shuffle_bytes_wire =
-        cfg_.compression.enabled
-            ? static_cast<std::uint64_t>(w.shuffle_bytes_raw *
-                                         cfg_.compression.ratio)
-            : w.shuffle_bytes_raw;
-    w.input_records = part.size();
-
-    const std::uint64_t out_records_before = out_emitter.records();
-    const std::uint64_t out_bytes_before = out_emitter.bytes();
-    auto reducer = spec.make_reducer();
-    check(reducer != nullptr, "reducer factory returned null");
-    std::size_t i = 0;
-    while (i < part.size()) {
-      std::size_t j = i + 1;
-      while (j < part.size() && compare_rows(part[i].key, part[j].key) == 0) ++j;
-      reducer->reduce(part[i].key,
-                      std::span<const KeyValue>(part.data() + i, j - i),
-                      out_emitter);
-      i = j;
-    }
-    w.output_records = out_emitter.records() - out_records_before;
-    w.output_bytes = out_emitter.bytes() - out_bytes_before;
-
-    m.shuffle_bytes_raw += w.shuffle_bytes_raw;
-    m.shuffle_bytes_wire += w.shuffle_bytes_wire;
-    m.reduce.input_records += w.input_records;
-    m.reduce.input_bytes += w.shuffle_bytes_raw;
-    // Model the cost of one of the cluster's real reduce tasks: this sim
-    // partition stands for 1/reducer_scale of them, each carrying a
-    // reducer_scale share of its data.
-    ReduceTaskWork real_task = w;
-    real_task.shuffle_bytes_raw = static_cast<std::uint64_t>(
-        w.shuffle_bytes_raw * reducer_scale);
-    real_task.shuffle_bytes_wire = static_cast<std::uint64_t>(
-        w.shuffle_bytes_wire * reducer_scale);
-    real_task.input_records =
-        static_cast<std::uint64_t>(w.input_records * reducer_scale);
-    real_task.output_records =
-        static_cast<std::uint64_t>(w.output_records * reducer_scale);
-    real_task.output_bytes =
-        static_cast<std::uint64_t>(w.output_bytes * reducer_scale);
-    double task_s =
-        cost_.reduce_task_seconds(real_task, spec.reduce_cpu_multiplier);
-    while (cfg_.task_failure_rate > 0 &&
-           contention_rng_.uniform01() < cfg_.task_failure_rate)
-      task_s +=
-          cost_.reduce_task_seconds(real_task, spec.reduce_cpu_multiplier);
-    reduce_task_times.push_back(task_s);
   }
   m.reduce.tasks = static_cast<std::uint64_t>(target_reducers);
   // Expand to the real task count: each simulated partition's time stands
@@ -319,9 +415,11 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
   }
   m.reduce_time_s = CostModel::makespan(reduce_task_times, reduce_slots);
 
-  // ---- write outputs ----
+  // ---- write outputs: concatenate partition tables in partition order ----
   for (std::size_t i = 0; i < spec.outputs.size(); ++i) {
-    auto& t = out_emitter.tables()[i];
+    auto t = std::make_shared<Table>(spec.outputs[i].schema);
+    for (auto& pr : parts)
+      for (auto& row : pr.tables[i]->mutable_rows()) t->append(std::move(row));
     m.reduce.output_records += t->row_count();
     m.reduce.output_bytes += t->byte_size();
     m.dfs_write_bytes += t->byte_size() * cfg_.replication;

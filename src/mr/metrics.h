@@ -21,6 +21,12 @@ struct PhaseMetrics {
   std::uint64_t output_bytes = 0;
 };
 
+// Map-only job convention: a job without a reduce phase reports its final
+// output under `map` (output_records/output_bytes are the mapper's
+// emissions, which are exactly the rows written to the DFS) and leaves
+// every `reduce` field zero, including reduce.tasks. dfs_write_bytes still
+// records the materialized output including replication copies.
+
 struct JobMetrics {
   std::string job_name;
 

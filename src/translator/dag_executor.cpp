@@ -26,7 +26,8 @@ QueryRunResult run_translated(const TranslatedQuery& query, Engine& engine,
   std::vector<std::size_t> pending(query.jobs.size());
   for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
 
-  while (!pending.empty()) {
+  bool any_failed = false;
+  while (!pending.empty() && !any_failed) {
     std::vector<std::size_t> wave;
     for (std::size_t i : pending) {
       bool ready = true;
@@ -45,6 +46,7 @@ QueryRunResult run_translated(const TranslatedQuery& query, Engine& engine,
       MRJobSpec spec = build_common_job(job, profile, engine.dfs());
       JobMetrics m = engine.run(spec);
       wave_wall = std::max(wave_wall, m.total_time_s());
+      any_failed |= m.failed;
       out.metrics.jobs.push_back(std::move(m));
       for (const auto& o : job.outputs) {
         available.insert(o.path);
@@ -58,10 +60,16 @@ QueryRunResult run_translated(const TranslatedQuery& query, Engine& engine,
         rest.push_back(i);
     pending = std::move(rest);
   }
-  out.result = engine.dfs().file(result_path).table;
+
+  // A failed job (DNF) aborts the query: jobs still pending are never
+  // scheduled and its outputs — present in the DFS only so standalone
+  // metrics remain checkable — are not consumed as a result. This is
+  // what the paper's DNF rows report (e.g. Pig on Q-CSA, Section VII).
+  if (!any_failed) out.result = engine.dfs().file(result_path).table;
   if (!keep_intermediates) {
-    for (const auto& p : scratch_paths) engine.dfs().remove(p);
-    engine.dfs().remove(result_path);
+    for (const auto& p : scratch_paths)
+      if (engine.dfs().exists(p)) engine.dfs().remove(p);
+    if (engine.dfs().exists(result_path)) engine.dfs().remove(result_path);
   }
   return out;
 }

@@ -15,11 +15,16 @@ namespace ysmart {
 
 struct QueryRunResult {
   QueryMetrics metrics;
+  /// The query's result table, or null when metrics.failed(): a failed
+  /// (DNF) query has no trustworthy result to hand out.
   std::shared_ptr<const Table> result;
 };
 
-/// Run all jobs of `query` on `engine`. The profile supplies the cost
-/// knobs already baked into each job at CMF-build time.
+/// Run the jobs of `query` on `engine` in dependency waves. The profile
+/// supplies the cost knobs already baked into each job at CMF-build time.
+/// Execution stops at the first wave containing a failed job: downstream
+/// jobs are never scheduled and the returned result is null, with
+/// metrics.failed() true (the paper's DNF behaviour).
 QueryRunResult run_translated(const TranslatedQuery& query, Engine& engine,
                               const TranslatorProfile& profile,
                               bool keep_intermediates = false);

@@ -166,8 +166,17 @@ TEST_F(EngineTest, MapOnlyJob) {
   spec.inputs = {{"/in", 0}};
   spec.outputs = {{"/out", word_schema()}};
   spec.make_mapper = [] { return std::make_unique<PassMapper>(); };
-  engine_.run(spec);
+  auto m = engine_.run(spec);
   EXPECT_EQ(dfs_.file("/out").table->row_count(), 2u);
+  // Map-only metrics convention (metrics.h): the final output is the map
+  // phase's output; every reduce field stays zero.
+  EXPECT_GT(m.map.tasks, 0u);
+  EXPECT_EQ(m.map.output_records, 2u);
+  EXPECT_EQ(m.reduce.tasks, 0u);
+  EXPECT_EQ(m.reduce.output_records, 0u);
+  EXPECT_EQ(m.reduce.output_bytes, 0u);
+  EXPECT_EQ(m.reduce_time_s, 0.0);
+  EXPECT_GT(m.dfs_write_bytes, 0u);
 }
 
 // Multi-output reducers write each tagged result to its own file.

@@ -1,12 +1,16 @@
 // Robustness properties: the parser never crashes on malformed input,
 // Value ordering is a valid total order, makespan is monotone, the
-// engine's reduce-task accounting scales to large clusters, and explain
-// output is stable.
+// engine's reduce-task accounting scales to large clusters, job failures
+// abort the DAG instead of feeding downstream jobs, total task failure
+// terminates, engine results are pool-size invariant, and explain output
+// is stable.
 #include <gtest/gtest.h>
 
 #include "api/database.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/clicks_gen.h"
 #include "data/queries.h"
 #include "mr/engine.h"
 #include "sql/parser.h"
@@ -153,6 +157,118 @@ TEST(ReduceScaling, TargetTasksReportedAndTimeScales) {
   EXPECT_GT(big.reduce.tasks, Engine::kMaxSimReducers);
   // Identical data, wildly different cluster: identical results.
   EXPECT_EQ(small.reduce.output_records, big.reduce.output_records);
+}
+
+// ---- failure propagation, retry caps, pool-size invariance ----
+
+// Shared word-count-style fixture bits for engine-level tests.
+Schema key_schema() {
+  Schema s;
+  s.add("k", ValueType::Int);
+  return s;
+}
+
+MRJobSpec counting_spec() {
+  MRJobSpec spec;
+  spec.name = "count";
+  spec.inputs = {{"/in", 0}};
+  Schema out;
+  out.add("k", ValueType::Int);
+  out.add("n", ValueType::Int);
+  spec.outputs = {{"/out", out}};
+  struct M final : Mapper {
+    void map(const Row& r, int, MapEmitter& e) override {
+      e.emit(Row{r[0]}, Row{Value{1}});
+    }
+  };
+  struct R final : Reducer {
+    void reduce(const Row& k, std::span<const KeyValue> v,
+                ReduceEmitter& e) override {
+      e.emit(Row{k[0], Value{static_cast<std::int64_t>(v.size())}});
+    }
+  };
+  spec.make_mapper = [] { return std::make_unique<M>(); };
+  spec.make_reducer = [] { return std::make_unique<R>(); };
+  return spec;
+}
+
+std::shared_ptr<Table> key_rows(int n, int distinct) {
+  auto t = std::make_shared<Table>(key_schema());
+  for (int i = 0; i < n; ++i) t->append({Value{i % distinct}});
+  return t;
+}
+
+TEST(FailurePropagation, DownstreamJobsDoNotRunAfterCapacityFailure) {
+  ClicksConfig c;
+  c.users = 100;
+  c.mean_clicks_per_user = 10;
+  auto clicks = generate_clicks(c);
+
+  Database healthy(ClusterConfig::small_local(50));
+  healthy.create_table("clicks", clicks);
+  const auto ok = healthy.run(queries::qcsa().sql, TranslatorProfile::hive());
+  ASSERT_FALSE(ok.metrics.failed());
+  ASSERT_GT(ok.metrics.job_count(), 1);
+
+  auto cfg = ClusterConfig::small_local(50);
+  cfg.local_disk_capacity_bytes = 1 << 20;  // 1 MB: the first job overflows
+  Database db(cfg);
+  db.create_table("clicks", clicks);
+  const auto dnf = db.run(queries::qcsa().sql, TranslatorProfile::hive());
+  EXPECT_TRUE(dnf.metrics.failed());
+  // No downstream job ran after the failure, and no result is handed out.
+  EXPECT_LT(dnf.metrics.job_count(), ok.metrics.job_count());
+  EXPECT_TRUE(dnf.metrics.jobs.back().failed);
+  EXPECT_EQ(dnf.result, nullptr);
+}
+
+TEST(FailureInjection, TotalFailureRateTerminatesWithFailedJob) {
+  Dfs dfs(2, 64, 1);
+  dfs.write("/in", key_rows(50, 7));
+  auto cfg = ClusterConfig::small_local(1.0);
+  cfg.task_failure_rate = 1.0;  // every attempt fails; must not hang
+  Engine engine(dfs, cfg);
+  const auto m = engine.run(counting_spec());
+  EXPECT_TRUE(m.failed);
+  EXPECT_NE(m.fail_reason.find("attempts"), std::string::npos);
+  // The schedule charges exactly the retry cap per task, no more.
+  EXPECT_GT(m.map_time_s, 0);
+}
+
+TEST(PoolInvariance, ResultsAndSimulatedSecondsIdenticalAcrossPoolSizes) {
+  auto data = key_rows(3000, 97);
+  auto cfg = ClusterConfig::ec2(8, 1.0);
+  cfg.task_failure_rate = 0.2;  // exercise the retry RNG stream too
+  cfg.contention.enabled = true;
+
+  JobMetrics m1, mn;
+  std::shared_ptr<const Table> t1, tn;
+  auto run_with = [&](ThreadPool& pool, JobMetrics& m,
+                      std::shared_ptr<const Table>& t) {
+    Dfs dfs(cfg.worker_nodes, cfg.scaled_block_bytes(), cfg.replication);
+    dfs.write("/in", data);
+    Engine engine(dfs, cfg, &pool);
+    m = engine.run(counting_spec());
+    t = dfs.file("/out").table;
+  };
+
+  ThreadPool serial(1), wide(8);
+  run_with(serial, m1, t1);
+  run_with(wide, mn, tn);
+
+  // Bit-identical simulated times and measured quantities.
+  EXPECT_DOUBLE_EQ(m1.map_time_s, mn.map_time_s);
+  EXPECT_DOUBLE_EQ(m1.reduce_time_s, mn.reduce_time_s);
+  EXPECT_DOUBLE_EQ(m1.sched_delay_s, mn.sched_delay_s);
+  EXPECT_EQ(m1.shuffle_bytes_raw, mn.shuffle_bytes_raw);
+  EXPECT_EQ(m1.shuffle_bytes_wire, mn.shuffle_bytes_wire);
+  EXPECT_EQ(m1.dfs_write_bytes, mn.dfs_write_bytes);
+  EXPECT_EQ(m1.reduce.output_records, mn.reduce.output_records);
+  // Identical rows in identical order (not just as a multiset).
+  ASSERT_EQ(t1->row_count(), tn->row_count());
+  for (std::size_t i = 0; i < t1->rows().size(); ++i)
+    EXPECT_EQ(compare_rows(t1->rows()[i], tn->rows()[i]),
+              std::strong_ordering::equal);
 }
 
 // ---- explain output is deterministic ----

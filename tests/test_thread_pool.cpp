@@ -1,0 +1,97 @@
+// ThreadPool unit tests: tasks all run, parallel_for covers every index
+// exactly once for any pool size / grain, exceptions propagate, and the
+// caller participates so a saturated pool cannot deadlock it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace ysmart {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 64; ++i)
+    futs.push_back(pool.submit([&count] { ++count; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+class ParallelForTest
+    : public ::testing::TestWithParam<std::pair<unsigned, std::size_t>> {};
+
+TEST_P(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const auto [threads, grain] = GetParam();
+  ThreadPool pool(threads);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, grain, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LE(begin, end);
+    ASSERT_LE(end, kN);
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ParallelForTest,
+    ::testing::Values(std::pair<unsigned, std::size_t>{1, 1},
+                      std::pair<unsigned, std::size_t>{1, 0},
+                      std::pair<unsigned, std::size_t>{4, 1},
+                      std::pair<unsigned, std::size_t>{4, 7},
+                      std::pair<unsigned, std::size_t>{4, 0},
+                      std::pair<unsigned, std::size_t>{8, 2000}));
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100, 1,
+                        [](std::size_t begin, std::size_t) {
+                          if (begin == 57) throw std::runtime_error("bad chunk");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, CallerParticipatesSoSaturatedPoolFinishes) {
+  // Fill the single worker with a long queue, then parallel_for from the
+  // caller: the caller must claim chunks itself rather than wait forever.
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 8; ++i)
+    futs.push_back(pool.submit([&done] { ++done; }));
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(32, 1, [&](std::size_t begin, std::size_t end) {
+    covered += end - begin;
+  });
+  EXPECT_EQ(covered.load(), 32u);
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsASingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ysmart
