@@ -11,11 +11,13 @@
 #include <cstdio>
 
 #include "common.h"
+#include "report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ysmart;
   using namespace ysmart::bench;
 
+  Report report("ablation_tags", argc, argv);
   print_header("Ablation 1 - CMF tag encoding on the merged Q21 sub-tree job");
   {
     auto tpch = TpchDataset::generate();
@@ -26,7 +28,10 @@ int main() {
       tpch.load_into(db);
       auto profile = TranslatorProfile::ysmart();
       profile.tag_encoding = enc;
-      auto run = db.run(queries::q21_subtree().sql, profile);
+      profile.name = enc == TagEncoding::ExcludeList ? "ysmart-excl"
+                                                     : "ysmart-incl";
+      auto run = run_and_record(report, db, "Q21-subtree",
+                                queries::q21_subtree().sql, profile);
       const double scale = db.cluster().sim_scale;
       std::printf("%-14s %14.1f %14.1f %10s\n",
                   enc == TagEncoding::ExcludeList ? "exclude-list"
@@ -45,7 +50,8 @@ int main() {
     Database db(ClusterConfig::small_local(scale_for(clicks.bytes, 20)));
     clicks.load_into(db);
 
-    auto with_heuristic = db.run(queries::qcsa().sql, TranslatorProfile::ysmart());
+    auto with_heuristic = run_and_record(report, db, "Q-CSA", queries::qcsa().sql,
+                                         TranslatorProfile::ysmart());
     std::printf("with heuristic (uid chosen):      %d jobs  %s\n",
                 with_heuristic.metrics.job_count(),
                 fmt_time(with_heuristic.metrics.total_time_s()).c_str());
@@ -55,7 +61,8 @@ int main() {
     auto no_jfc = TranslatorProfile::ysmart();
     no_jfc.name = "ysmart-nojfc";
     no_jfc.use_job_flow_correlation = false;
-    auto without = db.run(queries::qcsa().sql, no_jfc);
+    auto without = run_and_record(report, db, "Q-CSA", queries::qcsa().sql,
+                                  no_jfc);
     std::printf("without job-flow merging:         %d jobs  %s\n",
                 without.metrics.job_count(),
                 fmt_time(without.metrics.total_time_s()).c_str());
@@ -80,7 +87,8 @@ int main() {
     cost_based.name = "ysmart+stats";
     cost_based.cost_based_pk = true;
     for (const auto& profile : {heuristic, cost_based}) {
-      auto run = db.run(queries::qcsa().sql, profile);
+      auto run =
+          run_and_record(report, db, "Q-CSA-skewed", queries::qcsa().sql, profile);
       std::printf("%-14s %d jobs  %s\n", profile.name.c_str(),
                   run.metrics.job_count(),
                   fmt_time(run.metrics.total_time_s()).c_str());

@@ -8,11 +8,13 @@
 #include <cstdio>
 
 #include "common.h"
+#include "report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ysmart;
   using namespace ysmart::bench;
 
+  Report report("fig02_gap", argc, argv);
   print_header(
       "Fig. 2(b) - Hive vs hand-coded MapReduce (20 GB CLICKS, 2-node "
       "local cluster)");
@@ -25,8 +27,10 @@ int main() {
   std::printf("%-8s %18s %18s %8s\n", "query", "hive", "hand-coded",
               "gap");
   for (const auto* q : {&queries::qagg(), &queries::qcsa()}) {
-    auto hive = db.run(q->sql, TranslatorProfile::hive());
-    auto hand = db.run(q->sql, TranslatorProfile::hand_coded());
+    auto hive =
+        run_and_record(report, db, q->id, q->sql, TranslatorProfile::hive());
+    auto hand = run_and_record(report, db, q->id, q->sql,
+                               TranslatorProfile::hand_coded());
     std::printf("%-8s %10s (%d job) %10s (%d job) %7.2fx\n", q->id.c_str(),
                 fmt_time(hive.metrics.total_time_s()).c_str(),
                 hive.metrics.job_count(),

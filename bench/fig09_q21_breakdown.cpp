@@ -10,11 +10,13 @@
 #include <cstdio>
 
 #include "common.h"
+#include "report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ysmart;
   using namespace ysmart::bench;
 
+  Report report("fig09_q21_breakdown", argc, argv);
   print_header(
       "Fig. 9 - Q21 sub-tree job finishing times (10 GB TPC-H, 2-node "
       "local cluster)");
@@ -42,7 +44,7 @@ int main() {
 
   double baseline_time = 0;
   for (const auto& cfg : configs) {
-    auto run = db.run(sql, cfg.profile);
+    auto run = run_and_record(report, db, "Q21-subtree", sql, cfg.profile);
     if (baseline_time == 0) baseline_time = run.metrics.total_time_s();
     std::printf("\n%s  [%d job(s)]\n", cfg.label, run.metrics.job_count());
     for (const auto& j : run.metrics.jobs)

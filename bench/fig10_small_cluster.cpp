@@ -9,20 +9,21 @@
 #include <cstdio>
 
 #include "common.h"
+#include "report.h"
 
 namespace {
 
 using namespace ysmart;
 using namespace ysmart::bench;
 
-void run_query(Database& db, const queries::PaperQuery& q,
+void run_query(Report& report, Database& db, const queries::PaperQuery& q,
                double paper_speedup) {
   std::printf("\n---- %s ----\n", q.id.c_str());
   double hive_time = 0, ysmart_time = 0;
   for (const auto& profile : {TranslatorProfile::ysmart(),
                               TranslatorProfile::hive(),
                               TranslatorProfile::pig()}) {
-    auto run = db.run(q.sql, profile);
+    auto run = run_and_record(report, db, q.id, q.sql, profile);
     if (run.metrics.failed()) {
       std::printf("%-8s DNF - %s\n", profile.name.c_str(),
                   run.metrics.fail_reason().c_str());
@@ -50,7 +51,8 @@ void run_query(Database& db, const queries::PaperQuery& q,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Report report("fig10_small_cluster", argc, argv);
   print_header(
       "Fig. 10 - small-cluster comparison: YSmart / Hive / Pig / ideal "
       "parallel PostgreSQL");
@@ -59,9 +61,9 @@ int main() {
     auto tpch = TpchDataset::generate();
     Database db(ClusterConfig::small_local(scale_for(tpch.bytes, 10)));
     tpch.load_into(db);
-    run_query(db, queries::q17(), 258);
-    run_query(db, queries::q18(), 190);
-    run_query(db, queries::q21(), 252);
+    run_query(report, db, queries::q17(), 258);
+    run_query(report, db, queries::q18(), 190);
+    run_query(report, db, queries::q21(), 252);
   }
   {
     auto clicks = ClicksDataset::generate();
@@ -72,7 +74,7 @@ int main() {
     cluster.local_disk_capacity_bytes = 320ull << 30;
     Database db(cluster);
     clicks.load_into(db);
-    run_query(db, queries::qcsa(), 266);
+    run_query(report, db, queries::qcsa(), 266);
   }
   return 0;
 }

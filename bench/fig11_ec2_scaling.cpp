@@ -12,21 +12,23 @@
 #include <cstdio>
 
 #include "common.h"
+#include "report.h"
 
 namespace {
 
 using namespace ysmart;
 using namespace ysmart::bench;
 
-double run_one(Database& db, const std::string& sql,
-               const TranslatorProfile& p) {
-  auto run = db.run(sql, p);
+double run_one(Report& report, Database& db, const std::string& query_id,
+               const std::string& sql, const TranslatorProfile& p) {
+  auto run = run_and_record(report, db, query_id, sql, p);
   return run.metrics.failed() ? -1 : run.metrics.total_time_s();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Report report("fig11_ec2_scaling", argc, argv);
   print_header("Fig. 11(a-c) - TPC-H on EC2: 11 nodes/10 GB vs 101 nodes/100 GB");
 
   auto tpch = TpchDataset::generate();
@@ -45,7 +47,10 @@ int main() {
           cluster.compression.enabled = compress;
           Database db(cluster);
           tpch.load_into(db);
-          t[i++] = run_one(db, q->sql, profile);
+          t[i++] = run_one(report, db,
+                           strf("%s/%dn%s", q->id.c_str(), nodes,
+                                compress ? "/c" : ""),
+                           q->sql, profile);
         }
       }
       auto cell = [](double v) {
@@ -67,7 +72,8 @@ int main() {
   for (const auto& profile : {TranslatorProfile::ysmart(),
                               TranslatorProfile::hive(),
                               TranslatorProfile::pig()}) {
-    auto run = db.run(queries::qcsa().sql, profile);
+    auto run =
+        run_and_record(report, db, "Q-CSA/11n", queries::qcsa().sql, profile);
     std::printf("%-8s %8s  (%d jobs)\n", profile.name.c_str(),
                 fmt_time(run.metrics.total_time_s()).c_str(),
                 run.metrics.job_count());

@@ -8,11 +8,13 @@
 #include <cstdio>
 
 #include "common.h"
+#include "report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ysmart;
   using namespace ysmart::bench;
 
+  Report report("fig12_facebook_q17", argc, argv);
   print_header(
       "Fig. 12 - six Q17 instances on the 747-node production cluster "
       "(1 TB, co-running workloads)");
@@ -35,7 +37,8 @@ int main() {
       // temporarily-generated inputs ran a 721 s reduce against a 53 s
       // map. Neutral at small scale, so only these benches enable it.
       profile.temp_input_join_penalty = 6.0;
-      auto run = db.run(queries::q17().sql, profile);
+      auto run = run_and_record(report, db, strf("Q17/instance%d", instance),
+                                queries::q17().sql, profile);
       const double t = run.metrics.total_time_s();
       pair_times[ysmart_sys ? 0 : 1] = t;
       std::printf("\n%s %d   total %s\n", profile.name.c_str(), instance,

@@ -8,11 +8,13 @@
 #include <cstdio>
 
 #include "common.h"
+#include "report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ysmart;
   using namespace ysmart::bench;
 
+  Report report("fig13_facebook_q18q21", argc, argv);
   print_header(
       "Fig. 13 - Q18/Q21 on the 747-node production cluster (1 TB, "
       "average of three instances)");
@@ -38,7 +40,9 @@ int main() {
         auto profile = ysmart_sys ? TranslatorProfile::ysmart()
                                   : TranslatorProfile::hive();
         profile.temp_input_join_penalty = 6.0;  // Section VII-F anomaly
-        auto run = db.run(e.q->sql, profile);
+        auto run = run_and_record(
+            report, db, strf("%s/instance%d", e.q->id.c_str(), instance),
+            e.q->sql, profile);
         (ysmart_sys ? sum_ys : sum_hv) += run.metrics.total_time_s();
         for (const auto& j : run.metrics.jobs)
           (ysmart_sys ? max_gap_ys : max_gap_hv) =

@@ -1,0 +1,199 @@
+// Machine-readable bench output: --json <path> and --trace <path>.
+//
+// Every figure bench accepts
+//
+//   fig10_small_cluster --json BENCH_fig10.json --trace fig10.trace.json
+//
+// --json writes one JSON document (schema: bench/bench_schema.json,
+// validated in CI by tools/validate_bench_json.py) with one record per
+// (query, profile) run: job count, simulated per-phase times, byte
+// counters, and host wall-clock. --trace additionally attaches an
+// observability context to every recorded run and writes the combined
+// Chrome trace_event file, loadable in chrome://tracing or Perfetto.
+// Without flags the benches behave exactly as before: no observer is
+// attached and nothing is written.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "common/json.h"
+#include "mr/metrics.h"
+#include "obs/obs.h"
+
+namespace ysmart::bench {
+
+/// Build identifier for the JSON header: CI's GITHUB_SHA when set, else
+/// the working tree's HEAD, else "unknown".
+inline std::string git_sha() {
+  if (const char* sha = std::getenv("GITHUB_SHA"); sha && *sha)
+    return std::string(sha).substr(0, 12);
+  std::string out;
+  if (FILE* p = ::popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), p)) out = buf;
+    ::pclose(p);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+    out.pop_back();
+  return out.empty() ? "unknown" : out;
+}
+
+class Report {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  Report(std::string bench_name, int argc, char** argv)
+      : bench_(std::move(bench_name)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) json_path_ = argv[i + 1];
+      if (std::strcmp(argv[i], "--trace") == 0) trace_path_ = argv[i + 1];
+    }
+  }
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  ~Report() { write(); }
+
+  bool tracing() const { return !trace_path_.empty(); }
+  /// The observability context runs attach, or null when not tracing.
+  obs::ObsContext* obs() { return tracing() ? &obs_ : nullptr; }
+
+  void record(const std::string& query, const std::string& profile,
+              const QueryMetrics& m, double wall_ms) {
+    if (json_path_.empty()) return;
+    Record r;
+    r.query = query;
+    r.profile = profile;
+    r.metrics = m;
+    r.wall_ms = wall_ms;
+    records_.push_back(std::move(r));
+  }
+
+  /// Write the JSON report and trace file now (also runs at destruction;
+  /// idempotent). Returns false if a file could not be written.
+  bool write() {
+    bool ok = true;
+    if (!json_path_.empty()) {
+      ok &= write_file(json_path_, json());
+      json_path_.clear();
+    }
+    if (!trace_path_.empty()) {
+      ok &= write_file(trace_path_, obs_.tracer.chrome_json(obs::TimeAxis::Both));
+      trace_path_.clear();
+    }
+    return ok;
+  }
+
+  std::string json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("schema_version", kSchemaVersion);
+    w.kv("bench", std::string_view(bench_));
+    w.kv("git_sha", std::string_view(git_sha()));
+    w.key("records").begin_array();
+    for (const auto& r : records_) {
+      const QueryMetrics& m = r.metrics;
+      double sched = 0, map_s = 0, reduce_s = 0;
+      std::uint64_t map_input = 0, shuffle_raw = 0, shuffle_wire = 0,
+                    dfs_write = 0, remote_read = 0;
+      for (const auto& j : m.jobs) {
+        sched += j.sched_delay_s;
+        map_s += j.map_time_s;
+        reduce_s += j.reduce_time_s;
+        map_input += j.map.input_bytes;
+        shuffle_raw += j.shuffle_bytes_raw;
+        shuffle_wire += j.shuffle_bytes_wire;
+        dfs_write += j.dfs_write_bytes;
+        remote_read += j.remote_read_bytes;
+      }
+      w.begin_object();
+      w.kv("query", std::string_view(r.query));
+      w.kv("profile", std::string_view(r.profile));
+      w.kv("jobs", static_cast<std::uint64_t>(m.jobs.size()));
+      w.kv("failed", m.failed());
+      w.key("sim").begin_object();
+      w.kv("total_s", m.total_time_s());
+      w.kv("wall_s", m.wall_time_s);
+      w.kv("sched_s", sched);
+      w.kv("map_s", map_s);
+      w.kv("reduce_s", reduce_s);
+      w.end_object();
+      w.key("bytes").begin_object();
+      w.kv("map_input", map_input);
+      w.kv("shuffle_raw", shuffle_raw);
+      w.kv("shuffle_wire", shuffle_wire);
+      w.kv("dfs_write", dfs_write);
+      w.kv("remote_read", remote_read);
+      w.end_object();
+      w.kv("wall_ms", r.wall_ms);
+      w.key("per_job").begin_array();
+      for (const auto& j : m.jobs) {
+        w.begin_object();
+        w.kv("name", std::string_view(j.job_name));
+        w.kv("map_s", j.map_time_s);
+        w.kv("reduce_s", j.reduce_time_s);
+        w.kv("shuffle_wire", j.shuffle_bytes_wire);
+        w.kv("failed", j.failed);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.take();
+  }
+
+ private:
+  struct Record {
+    std::string query;
+    std::string profile;
+    QueryMetrics metrics;
+    double wall_ms = 0;
+  };
+
+  static bool write_file(const std::string& path, const std::string& body) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << body << '\n';
+    return out.good();
+  }
+
+  std::string bench_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::vector<Record> records_;
+  obs::ObsContext obs_;
+};
+
+/// Run one (query, profile) pair through `db`, timing the host wall-clock
+/// and recording the result in `report`. When tracing, the report's
+/// observability context is attached for the duration of the run.
+inline QueryRunResult run_and_record(Report& report, Database& db,
+                                     const std::string& query_id,
+                                     const std::string& sql,
+                                     const TranslatorProfile& profile) {
+  db.set_observer(report.obs());
+  const auto t0 = std::chrono::steady_clock::now();
+  QueryRunResult run = db.run(sql, profile);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  db.set_observer(nullptr);
+  report.record(query_id, profile.name, run.metrics, wall_ms);
+  return run;
+}
+
+}  // namespace ysmart::bench

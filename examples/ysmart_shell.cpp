@@ -5,23 +5,33 @@
 //   ysmart> SELECT cid, count(*) AS n FROM clicks GROUP BY cid HAVING n > 100;
 //   ysmart> \explain SELECT ... ;
 //   ysmart> \dot SELECT ... ;          (Graphviz job DAG on stdout)
-//   ysmart> \profile hive
+//   ysmart> \profile hive               (switch translator)
+//   ysmart> \profile on                 (per-query span tree + counters)
+//   ysmart> \profile off
+//   ysmart> \trace /tmp/query.trace.json  (Chrome trace of last profiled run)
+//   ysmart> \counters                   (session metrics registry as JSON)
 //   ysmart> \load mytable /path/data.csv   (schema inferred)
 //   ysmart> \save /path/out.csv SELECT ... ;
 //   ysmart> \tables
 //   ysmart> \quit
 //
+// Environment: YSMART_TRACE=<file> / YSMART_METRICS=<file> record the
+// whole session and write a Chrome trace / metrics-registry JSON on exit.
+//
 // Also reads one-shot queries from the command line:
 //   $ ./build/examples/ysmart_shell "SELECT count(*) AS n FROM lineitem"
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "api/database.h"
+#include "common/env.h"
 #include "common/error.h"
 #include "common/strings.h"
 #include "data/clicks_gen.h"
 #include "data/tpch_gen.h"
+#include "obs/obs.h"
 #include "storage/csv.h"
 
 namespace {
@@ -37,18 +47,42 @@ TranslatorProfile profile_by_name(const std::string& name) {
   return TranslatorProfile::ysmart();
 }
 
+struct ShellObs {
+  obs::ObsContext ctx;
+  bool profiling = false;     // \profile on: print span tree per query
+  bool session_trace = false; // YSMART_TRACE set: keep the whole session
+  QueryMetrics last_metrics;  // most recent run, used by \dot annotation
+};
+
+void write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cout << "cannot write " << path << "\n";
+    return;
+  }
+  out << body << '\n';
+  std::cout << "wrote " << path << "\n";
+}
+
 void run_sql(Database& db, const TranslatorProfile& profile,
-             const std::string& sql, bool explain_only) {
+             const std::string& sql, bool explain_only, ShellObs& sobs) {
   try {
     if (explain_only) {
       std::cout << db.explain(sql, profile);
       return;
     }
+    // Without a session-long trace, each profiled query gets a fresh
+    // timeline so the printed tree (and a following \trace) covers just
+    // that query. Counters always accumulate across the session.
+    if (db.observer() && !sobs.session_trace) sobs.ctx.tracer.clear();
     auto run = db.run(sql, profile);
+    sobs.last_metrics = run.metrics;
     if (run.metrics.failed()) {
       std::cout << strf("query DNF after %d job(s): %s\n",
                         run.metrics.job_count(),
                         run.metrics.fail_reason().c_str());
+      if (db.observer())
+        std::cout << "counters: " << sobs.ctx.metrics.summary_line() << "\n";
       return;
     }
     std::cout << run.result->to_string(25);
@@ -56,6 +90,10 @@ void run_sql(Database& db, const TranslatorProfile& profile,
                       "profile %s)\n",
                       run.result->row_count(), run.metrics.job_count(),
                       run.metrics.total_time_s(), profile.name.c_str());
+    if (sobs.profiling) {
+      std::cout << sobs.ctx.tracer.analyze_tree();
+      std::cout << "counters: " << sobs.ctx.metrics.summary_line() << "\n";
+    }
   } catch (const Error& e) {
     std::cout << e.what() << "\n";
   }
@@ -81,15 +119,31 @@ int main(int argc, char** argv) {
 
   TranslatorProfile profile = TranslatorProfile::ysmart();
 
+  ShellObs sobs;
+  const auto trace_env = env_nonempty("YSMART_TRACE");
+  const auto metrics_env = env_nonempty("YSMART_METRICS");
+  if (trace_env || metrics_env) {
+    sobs.session_trace = trace_env.has_value();
+    db.set_observer(&sobs.ctx);
+  }
+  auto write_env_outputs = [&] {
+    if (trace_env)
+      write_text_file(*trace_env,
+                      sobs.ctx.tracer.chrome_json(obs::TimeAxis::Both));
+    if (metrics_env) write_text_file(*metrics_env, sobs.ctx.metrics.json());
+  };
+
   if (argc > 1) {
-    run_sql(db, profile, argv[1], /*explain_only=*/false);
+    run_sql(db, profile, argv[1], /*explain_only=*/false, sobs);
+    write_env_outputs();
     return 0;
   }
 
   std::cout << "ysmart interactive shell - tables: ";
   for (const auto& t : db.catalog().table_names()) std::cout << t << " ";
   std::cout << "\ncommands: \\explain <sql>  \\profile "
-               "<ysmart|hive|pig|mrshare|hand>  \\tables  \\quit\n";
+               "<ysmart|hive|pig|mrshare|hand|on|off>  \\trace <file>  "
+               "\\counters  \\tables  \\quit\n";
 
   std::string line;
   while (std::cout << "ysmart> " << std::flush, std::getline(std::cin, line)) {
@@ -114,21 +168,56 @@ int main(int argc, char** argv) {
       if (cmd == "profile") {
         std::string name;
         iss >> name;
-        profile = profile_by_name(name);
-        std::cout << "profile: " << profile.name << "\n";
+        if (name == "on" || name == "off") {
+          sobs.profiling = name == "on";
+          if (sobs.profiling)
+            db.set_observer(&sobs.ctx);
+          else if (!trace_env && !metrics_env)
+            db.set_observer(nullptr);
+          std::cout << "profiling: " << name << "\n";
+        } else {
+          profile = profile_by_name(name);
+          std::cout << "profile: " << profile.name << "\n";
+        }
+        continue;
+      }
+      if (cmd == "trace") {
+        std::string path;
+        iss >> path;
+        if (path.empty()) {
+          std::cout << "usage: \\trace <file>\n";
+        } else if (!db.observer()) {
+          std::cout << "nothing traced yet - \\profile on first\n";
+        } else {
+          write_text_file(path,
+                          sobs.ctx.tracer.chrome_json(obs::TimeAxis::Both));
+        }
+        continue;
+      }
+      if (cmd == "counters") {
+        if (!db.observer()) {
+          std::cout << "no counters - \\profile on first\n";
+        } else {
+          std::cout << sobs.ctx.metrics.json() << "\n";
+        }
         continue;
       }
       if (cmd == "explain") {
         std::string rest;
         std::getline(iss, rest);
-        run_sql(db, profile, rest, /*explain_only=*/true);
+        run_sql(db, profile, rest, /*explain_only=*/true, sobs);
         continue;
       }
       if (cmd == "dot") {
         std::string rest;
         std::getline(iss, rest);
         try {
-          std::cout << db.translate_query(rest, profile).to_dot();
+          // Annotate with the last run's metrics when the job names line
+          // up (to_dot matches by name, so a different query simply gets
+          // no annotations).
+          const QueryMetrics* m =
+              sobs.last_metrics.jobs.empty() ? nullptr : &sobs.last_metrics;
+          std::cout << db.translate_query(rest, profile).to_dot(m);
         } catch (const Error& e) {
           std::cout << e.what() << "\n";
         }
@@ -168,7 +257,8 @@ int main(int argc, char** argv) {
       std::cout << "unknown command: " << cmd << "\n";
       continue;
     }
-    run_sql(db, profile, line, /*explain_only=*/false);
+    run_sql(db, profile, line, /*explain_only=*/false, sobs);
   }
+  write_env_outputs();
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "obs/obs.h"
 #include "plan/builder.h"
 #include "plan/printer.h"
 #include "plan/prune.h"
@@ -31,10 +32,18 @@ PlanPtr Database::plan(const std::string& sql) const {
 
 TranslatedQuery Database::translate_query(const std::string& sql,
                                           const TranslatorProfile& profile) {
-  PlanPtr p = plan(sql);
+  obs::ScopedSpan translate_span(obs_, "translate:" + profile.name,
+                                 "translate");
+  PlanPtr p;
+  {
+    obs::ScopedSpan parse_span(obs_, "parse+plan", "translate");
+    p = plan(sql);
+  }
   const std::string scratch =
       "/scratch/" + profile.name + "/run" + std::to_string(run_counter_++);
-  return translate(p, profile, scratch, &stats_);
+  TranslatedQuery q = translate(p, profile, scratch, &stats_, obs_);
+  translate_span.arg("jobs", static_cast<std::uint64_t>(q.jobs.size()));
+  return q;
 }
 
 std::string Database::explain(const std::string& sql,
@@ -53,8 +62,20 @@ std::string Database::explain(const std::string& sql,
 
 QueryRunResult Database::run(const std::string& sql,
                              const TranslatorProfile& profile) {
+  obs::ScopedSpan query_span(obs_, "query:" + profile.name, "query");
+  const double sim0 = obs_ ? obs_->tracer.sim_now() : 0.0;
   TranslatedQuery q = translate_query(sql, profile);
-  return run_translated(q, *engine_, profile);
+  QueryRunResult r = run_translated(q, *engine_, profile);
+  if (obs_) {
+    // wall_time_s is the modeled end-to-end elapsed time (waves overlap
+    // under concurrent submission), which is where the executor leaves
+    // the simulated cursor; total_time_s is the serial sum.
+    query_span.sim(sim0, r.metrics.wall_time_s);
+    query_span.arg("jobs", static_cast<std::uint64_t>(r.metrics.jobs.size()));
+    query_span.arg("sim_total_s", r.metrics.total_time_s());
+    if (r.metrics.failed()) query_span.arg("failed", std::string_view("true"));
+  }
+  return r;
 }
 
 TableSource Database::table_source() const {
@@ -77,8 +98,14 @@ void Database::reconfigure_cluster(ClusterConfig cfg) {
   engine_.reset();
   dfs_ = Dfs(cfg.worker_nodes, cfg.scaled_block_bytes(), cfg.replication);
   engine_ = std::make_unique<Engine>(dfs_, std::move(cfg));
+  engine_->set_obs(obs_);
   for (const auto& [name, data] : tables_)
     dfs_.write(LoweringContext::table_path(name), data);
+}
+
+void Database::set_observer(obs::ObsContext* obs) {
+  obs_ = obs;
+  engine_->set_obs(obs);
 }
 
 }  // namespace ysmart

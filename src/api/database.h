@@ -27,6 +27,10 @@
 
 namespace ysmart {
 
+namespace obs {
+struct ObsContext;
+}
+
 class Database {
  public:
   explicit Database(ClusterConfig cfg);
@@ -60,8 +64,16 @@ class Database {
   const ClusterConfig& cluster() const { return engine_->cluster(); }
 
   /// Replace the engine (e.g. to re-run on a different cluster preset
-  /// while keeping the loaded tables). Table data is re-registered.
+  /// while keeping the loaded tables). Table data is re-registered and
+  /// an attached observer carries over to the new engine.
   void reconfigure_cluster(ClusterConfig cfg);
+
+  /// Attach (or detach with null) an observability context, non-owning.
+  /// While attached, run()/translate_query() record spans and counters
+  /// into it; detached (the default) everything is skipped. Observation
+  /// never alters results or simulated metrics.
+  void set_observer(obs::ObsContext* obs);
+  obs::ObsContext* observer() const { return obs_; }
 
  private:
   TableSource table_source() const;
@@ -72,6 +84,7 @@ class Database {
   StatsCatalog stats_;
   std::map<std::string, std::shared_ptr<const Table>> tables_;
   int run_counter_ = 0;
+  obs::ObsContext* obs_ = nullptr;
 };
 
 }  // namespace ysmart

@@ -1,0 +1,44 @@
+#include "common/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <climits>
+
+namespace ysmart {
+
+std::optional<int> parse_positive_int(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == text.c_str()) return std::nullopt;
+  while (*end == ' ' || *end == '\t') ++end;  // strtol already skips leading
+  if (*end != '\0') return std::nullopt;
+  if (v <= 0 || v > INT_MAX) return std::nullopt;
+  return static_cast<int>(v);
+}
+
+std::optional<int> env_positive_int(const char* name) {
+  const char* raw = std::getenv(name);
+  if (!raw) return std::nullopt;
+  auto v = parse_positive_int(raw);
+  if (!v)
+    std::fprintf(stderr,
+                 "warning: ignoring %s=\"%s\" (expected a positive integer); "
+                 "using the default\n",
+                 name, raw);
+  return v;
+}
+
+std::optional<std::string> env_nonempty(const char* name) {
+  const char* raw = std::getenv(name);
+  if (!raw) return std::nullopt;
+  if (raw[0] == '\0') {
+    std::fprintf(stderr, "warning: ignoring empty %s\n", name);
+    return std::nullopt;
+  }
+  return std::string(raw);
+}
+
+}  // namespace ysmart

@@ -1,0 +1,30 @@
+// Validated environment-variable parsing for the YSMART_* knobs.
+//
+// std::atoi-style parsing silently maps garbage to 0, which for a knob
+// like YSMART_THREADS means "fall back to a surprising default without
+// telling anyone". These helpers reject malformed values loudly (one
+// stderr warning) and return nullopt so the caller applies its documented
+// fallback.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace ysmart {
+
+/// Parse `text` as a strictly positive decimal integer. Returns nullopt
+/// for empty strings, non-numeric input, trailing garbage ("8x"), zero,
+/// negatives, or values that overflow int.
+std::optional<int> parse_positive_int(const std::string& text);
+
+/// Read environment variable `name` as a positive integer. Unset returns
+/// nullopt silently; a set-but-invalid value warns on stderr (once per
+/// call) and returns nullopt so the caller falls back.
+std::optional<int> env_positive_int(const char* name);
+
+/// Read environment variable `name` as a non-empty string (e.g. an output
+/// path). Unset returns nullopt silently; set-but-empty warns on stderr
+/// and returns nullopt.
+std::optional<std::string> env_nonempty(const char* name);
+
+}  // namespace ysmart

@@ -1,0 +1,61 @@
+// JsonWriter: a minimal streaming JSON emitter.
+//
+// Commas and nesting are handled by the writer; callers interleave
+// begin_object/begin_array, key(), and value() calls. Doubles are
+// formatted with %.17g so a value round-trips exactly and two runs that
+// computed the same doubles emit byte-identical JSON — the property the
+// trace/bench outputs rely on for diffability. No parsing here: the repo
+// only ever *emits* JSON (traces, metrics snapshots, bench records).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ysmart {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or a begin_*.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+
+  /// Emit `raw` verbatim (caller guarantees it is valid JSON).
+  JsonWriter& raw(std::string_view raw_json);
+
+  /// Shorthand: key + value.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma_for_value();
+
+  std::string out_;
+  // One entry per open container: number of elements emitted so far.
+  std::vector<std::size_t> counts_;
+  bool after_key_ = false;
+};
+
+}  // namespace ysmart

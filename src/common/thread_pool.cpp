@@ -2,10 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 
+#include "common/env.h"
+
 namespace ysmart {
+
+namespace {
+
+/// Relaxed running-maximum update for the peak gauges.
+void update_peak(std::atomic<std::uint64_t>& peak, std::uint64_t value) {
+  std::uint64_t cur = peak.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !peak.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0)
@@ -34,7 +47,10 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    update_peak(peak_busy_workers_,
+                busy_workers_.fetch_add(1, std::memory_order_relaxed) + 1);
     task();
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -44,9 +60,19 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push(std::move(task));
+    tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+    update_peak(peak_queue_depth_, queue_.size());
   }
   cv_.notify_one();
   return fut;
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  s.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
+  s.peak_busy_workers = peak_busy_workers_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ThreadPool::parallel_for(
@@ -93,10 +119,10 @@ void ThreadPool::parallel_for(
 
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool([] {
-    if (const char* e = std::getenv("YSMART_THREADS")) {
-      const int v = std::atoi(e);
-      if (v > 0) return static_cast<unsigned>(v);
-    }
+    // env_positive_int rejects garbage/zero/negative values with a stderr
+    // warning; 0 here selects the hardware-concurrency fallback.
+    if (auto v = env_positive_int("YSMART_THREADS"))
+      return static_cast<unsigned>(*v);
     return 0u;
   }());
   return pool;

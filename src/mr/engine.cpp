@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "obs/obs.h"
 
 namespace ysmart {
 
@@ -160,14 +161,15 @@ struct PartitionResult {
   std::vector<std::shared_ptr<Table>> tables;  // one per job output
 };
 
+/// Runs one reduce partition over its already-merged (shuffle-sorted)
+/// input. The merge itself happens in the engine's shuffle-sort pass so
+/// the two phases have distinct wall-clock spans.
 PartitionResult run_reduce_partition(const MRJobSpec& spec,
-                                     std::vector<MapTaskResult>& map_results,
-                                     std::size_t p, const ClusterConfig& cfg,
+                                     std::vector<KeyValue> part,
+                                     const ClusterConfig& cfg,
                                      const CostModel& cost,
                                      double reducer_scale, int attempts) {
   PartitionResult res;
-  std::vector<KeyValue> part = merge_sorted_buckets(map_results, p);
-
   ReduceTaskWork& w = res.work;
   for (const auto& kv : part)
     w.shuffle_bytes_raw +=
@@ -248,6 +250,47 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
   JobMetrics m;
   m.job_name = spec.name;
 
+  // Observability: the job span and the simulated-timeline offset this
+  // job starts at. Everything below is guarded by obs_ and reads only
+  // values already computed for JobMetrics, so a null obs_ costs a
+  // handful of branches and an attached one cannot perturb results.
+  obs::ScopedSpan job_span(obs_, "job:" + spec.name, "job");
+  const double sim0 = obs_ ? obs_->tracer.sim_now() : 0.0;
+  std::uint64_t retries = 0;
+  auto finalize = [&]() {
+    if (!obs_) return;
+    job_span.sim(sim0, m.total_time_s());
+    job_span.arg("sched_delay_s", m.sched_delay_s);
+    job_span.arg("map_time_s", m.map_time_s);
+    job_span.arg("reduce_time_s", m.reduce_time_s);
+    job_span.arg("shuffle_bytes_wire", m.shuffle_bytes_wire);
+    job_span.arg("dfs_write_bytes", m.dfs_write_bytes);
+    if (m.failed) job_span.arg("fail_reason", std::string_view(m.fail_reason));
+    obs_->tracer.set_sim_now(sim0 + m.total_time_s());
+
+    auto& reg = obs_->metrics;
+    reg.add("engine.jobs.run", 1);
+    reg.add("engine.map.tasks", m.map.tasks);
+    reg.add("engine.map.input_bytes", m.map.input_bytes);
+    reg.add("engine.map.output_bytes", m.map.output_bytes);
+    reg.add("engine.map.remote_read_bytes", m.remote_read_bytes);
+    reg.add("engine.shuffle.bytes_raw", m.shuffle_bytes_raw);
+    reg.add("engine.shuffle.bytes_wire", m.shuffle_bytes_wire);
+    reg.add("engine.reduce.tasks", m.reduce.tasks);
+    reg.add("engine.reduce.output_bytes", m.reduce.output_bytes);
+    reg.add("engine.dfs.write_bytes", m.dfs_write_bytes);
+    reg.add("engine.tasks.retries", retries);
+    if (m.failed) {
+      reg.add("engine.jobs.failed", 1);
+      reg.note("engine.last_fail_reason", m.job_name + ": " + m.fail_reason);
+    }
+    const ThreadPool::Stats ps = pool_->stats();
+    reg.set("pool.tasks.submitted", ps.tasks_submitted);
+    reg.set_max("pool.queue.peak_depth", ps.peak_queue_depth);
+    reg.set_max("pool.workers.peak_busy", ps.peak_busy_workers);
+    reg.set("pool.workers.size", pool_->size());
+  };
+
   // ---- contention: scheduling delay and reduced slot availability ----
   double slot_share = 1.0;
   if (cfg_.contention.enabled) {
@@ -260,6 +303,13 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
       std::max(1, static_cast<int>(cfg_.total_map_slots() * slot_share));
   const int reduce_slots =
       std::max(1, static_cast<int>(cfg_.total_reduce_slots() * slot_share));
+  if (obs_ && m.sched_delay_s > 0) {
+    // Scheduling delay exists only on the simulated axis; the span is
+    // zero-width in wall-clock.
+    obs::ScopedSpan sched(obs_, "sched", "phase");
+    sched.sim(sim0, m.sched_delay_s);
+    sched.arg("slot_share", slot_share);
+  }
 
   // ---- build map task list ----
   std::vector<MapTaskDef> tasks;
@@ -295,11 +345,16 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
 
   // ---- execute map tasks on the shared thread pool ----
   std::vector<MapTaskResult> results(tasks.size());
-  pool_->parallel_for(tasks.size(), /*grain=*/0,
-                      [&](std::size_t begin, std::size_t end) {
-                        for (std::size_t i = begin; i < end; ++i)
-                          results[i] = run_map_task(spec, tasks[i], num_reducers);
-                      });
+  int map_span_id = -1;
+  {
+    obs::ScopedSpan map_span(obs_, "map", "phase");
+    map_span_id = map_span.id();
+    pool_->parallel_for(tasks.size(), /*grain=*/0,
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i)
+                            results[i] = run_map_task(spec, tasks[i], num_reducers);
+                        });
+  }
 
   // ---- measure + cost the map phase ----
   std::vector<double> map_task_times;
@@ -323,6 +378,7 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     // Fault tolerance: a failed attempt is re-executed from its
     // materialized input; every attempt's time is paid.
     const AttemptPlan plan = draw_attempts();
+    retries += static_cast<std::uint64_t>(plan.attempts - 1);
     map_task_times.push_back(
         plan.attempts * cost_.map_task_seconds(r.work, spec.map_cpu_multiplier));
     if (plan.exhausted && !m.failed) {
@@ -335,6 +391,14 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
   }
   m.map.tasks = results.size();
   m.map_time_s = CostModel::makespan(map_task_times, map_slots);
+  if (obs_) {
+    obs_->tracer.set_sim(map_span_id, sim0 + m.sched_delay_s, m.map_time_s);
+    obs_->tracer.arg(map_span_id, "tasks", m.map.tasks);
+    obs_->tracer.arg(map_span_id, "input_bytes", m.map.input_bytes);
+    obs_->tracer.arg(map_span_id, "output_bytes", m.map.output_bytes);
+    for (double t : map_task_times)
+      obs_->metrics.observe("engine.map.task_sim_seconds", t);
+  }
 
   // Intermediate-disk capacity check (how Pig's Q-CSA run died: the
   // intermediate results outgrew the test machines' disks). Hadoop keeps
@@ -358,12 +422,14 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     // Map output rows go straight to DFS output 0 (value part). The
     // job's final output is the map phase's output (m.map.output_*);
     // reduce metrics stay zero — see the convention note in metrics.h.
+    obs::ScopedSpan post_span(obs_, "post-job", "phase");
     auto out = std::make_shared<Table>(spec.outputs[0].schema);
     for (auto& r : results)
       for (auto& bucket : r.buckets)
         for (auto& kv : bucket) out->append(std::move(kv.value));
     m.dfs_write_bytes = out->byte_size() * cfg_.replication;
     dfs_.write(spec.outputs[0].path, std::move(out));
+    finalize();
     return m;
   }
 
@@ -375,14 +441,37 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
   plans.reserve(static_cast<std::size_t>(num_reducers));
   for (int p = 0; p < num_reducers; ++p) plans.push_back(draw_attempts());
 
+  // Pass 1, shuffle-sort: k-way merge each partition's sorted map-side
+  // buckets (Hadoop's reduce-side merge). Split from the reduce pass so
+  // each gets its own wall-clock span; the merge cost on the simulated
+  // axis is part of the cost model's reduce task time, so the
+  // shuffle-sort span is wall-only.
+  std::vector<std::vector<KeyValue>> merged(
+      static_cast<std::size_t>(num_reducers));
+  {
+    obs::ScopedSpan sort_span(obs_, "shuffle-sort", "phase");
+    pool_->parallel_for(static_cast<std::size_t>(num_reducers), /*grain=*/1,
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t p = begin; p < end; ++p)
+                            merged[p] = merge_sorted_buckets(results, p);
+                        });
+  }
+
+  // Pass 2, reduce: run each partition's reducer over its merged input.
   std::vector<PartitionResult> parts(static_cast<std::size_t>(num_reducers));
-  pool_->parallel_for(
-      static_cast<std::size_t>(num_reducers), /*grain=*/1,
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t p = begin; p < end; ++p)
-          parts[p] = run_reduce_partition(spec, results, p, cfg_, cost_,
-                                          reducer_scale, plans[p].attempts);
-      });
+  int reduce_span_id = -1;
+  {
+    obs::ScopedSpan reduce_span(obs_, "reduce", "phase");
+    reduce_span_id = reduce_span.id();
+    pool_->parallel_for(
+        static_cast<std::size_t>(num_reducers), /*grain=*/1,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t p = begin; p < end; ++p)
+            parts[p] = run_reduce_partition(spec, std::move(merged[p]), cfg_,
+                                            cost_, reducer_scale,
+                                            plans[p].attempts);
+        });
+  }
 
   // ---- aggregate partition metrics in fixed partition order ----
   std::vector<double> reduce_task_times;
@@ -394,6 +483,8 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     m.reduce.input_records += pr.work.input_records;
     m.reduce.input_bytes += pr.work.shuffle_bytes_raw;
     reduce_task_times.push_back(pr.task_seconds);
+    retries += static_cast<std::uint64_t>(
+        plans[static_cast<std::size_t>(p)].attempts - 1);
     if (plans[static_cast<std::size_t>(p)].exhausted && !m.failed) {
       m.failed = true;
       m.fail_reason =
@@ -414,17 +505,33 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     reduce_task_times = std::move(expanded);
   }
   m.reduce_time_s = CostModel::makespan(reduce_task_times, reduce_slots);
+  if (obs_) {
+    // The simulated reduce time includes shuffle transfer and merge: the
+    // cost model charges them per reduce task, like Hadoop's reduce-side
+    // copy/sort phases being billed to the reduce task.
+    obs_->tracer.set_sim(reduce_span_id, sim0 + m.sched_delay_s + m.map_time_s,
+                         m.reduce_time_s);
+    obs_->tracer.arg(reduce_span_id, "tasks", m.reduce.tasks);
+    obs_->tracer.arg(reduce_span_id, "shuffle_bytes_wire",
+                     m.shuffle_bytes_wire);
+    for (double t : reduce_task_times)
+      obs_->metrics.observe("engine.reduce.task_sim_seconds", t);
+  }
 
   // ---- write outputs: concatenate partition tables in partition order ----
-  for (std::size_t i = 0; i < spec.outputs.size(); ++i) {
-    auto t = std::make_shared<Table>(spec.outputs[i].schema);
-    for (auto& pr : parts)
-      for (auto& row : pr.tables[i]->mutable_rows()) t->append(std::move(row));
-    m.reduce.output_records += t->row_count();
-    m.reduce.output_bytes += t->byte_size();
-    m.dfs_write_bytes += t->byte_size() * cfg_.replication;
-    dfs_.write(spec.outputs[i].path, std::move(t));
+  {
+    obs::ScopedSpan post_span(obs_, "post-job", "phase");
+    for (std::size_t i = 0; i < spec.outputs.size(); ++i) {
+      auto t = std::make_shared<Table>(spec.outputs[i].schema);
+      for (auto& pr : parts)
+        for (auto& row : pr.tables[i]->mutable_rows()) t->append(std::move(row));
+      m.reduce.output_records += t->row_count();
+      m.reduce.output_bytes += t->byte_size();
+      m.dfs_write_bytes += t->byte_size() * cfg_.replication;
+      dfs_.write(spec.outputs[i].path, std::move(t));
+    }
   }
+  finalize();
   return m;
 }
 

@@ -24,6 +24,10 @@
 
 namespace ysmart {
 
+namespace obs {
+struct ObsContext;
+}
+
 class Engine {
  public:
   /// Cap on in-simulator reduce partitions; real clusters with thousands
@@ -52,6 +56,13 @@ class Engine {
   const ClusterConfig& cluster() const { return cfg_; }
   Dfs& dfs() { return dfs_; }
 
+  /// Attach (or detach with null) an observability context: job/phase
+  /// spans and counters are recorded there. Null (the default) disables
+  /// all instrumentation; observation never changes simulated metrics,
+  /// results, or RNG consumption (tests/test_obs.cpp).
+  void set_obs(obs::ObsContext* obs) { obs_ = obs; }
+  obs::ObsContext* obs() const { return obs_; }
+
  private:
   /// Number of simulated attempts a task needs, drawn from the failure
   /// model on the submitting thread (so fan-out order cannot perturb the
@@ -67,6 +78,7 @@ class Engine {
   CostModel cost_;
   Rng contention_rng_;
   ThreadPool* pool_;
+  obs::ObsContext* obs_ = nullptr;
 };
 
 }  // namespace ysmart

@@ -1,0 +1,136 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace ysmart::obs {
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    counters_.emplace(std::string(name), delta);
+  else
+    it->second += delta;
+}
+
+void MetricsRegistry::set_max(std::string_view name, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    counters_.emplace(std::string(name), value);
+  else
+    it->second = std::max(it->second, value);
+}
+
+void MetricsRegistry::set(std::string_view name, std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    counters_.emplace(std::string(name), value);
+  else
+    it->second = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end())
+    it = hists_.emplace(std::string(name), Histogram{}).first;
+  Histogram& h = it->second;
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  std::size_t b = 0;
+  while (b < kBucketBounds.size() && value > kBucketBounds[b]) ++b;
+  ++h.buckets[b];
+}
+
+void MetricsRegistry::note(std::string_view name, std::string_view text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  notes_[std::string(name)] = std::string(text);
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string MetricsRegistry::note_of(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = notes_.find(name);
+  return it == notes_.end() ? std::string() : it->second;
+}
+
+MetricsRegistry::Histogram MetricsRegistry::histogram(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hists_.find(name);
+  return it == hists_.end() ? Histogram{} : it->second;
+}
+
+std::string MetricsRegistry::json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [k, v] : counters_) w.kv(std::string_view(k), v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [k, h] : hists_) {
+    w.key(k).begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.kv("min", h.min);
+    w.kv("max", h.max);
+    w.key("bucket_bounds").begin_array();
+    for (double b : kBucketBounds) w.value(b);
+    w.end_array();
+    w.key("buckets").begin_array();
+    for (std::uint64_t c : h.buckets) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.key("notes").begin_object();
+  for (const auto& [k, v] : notes_) w.kv(std::string_view(k), std::string_view(v));
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string MetricsRegistry::summary_line() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto get = [&](const char* name) -> std::uint64_t {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  };
+  return strf(
+      "jobs=%llu failed=%llu map_tasks=%llu shuffle_wire=%.1fMB "
+      "dfs_write=%.1fMB remote_read=%.1fMB retries=%llu",
+      static_cast<unsigned long long>(get("engine.jobs.run")),
+      static_cast<unsigned long long>(get("engine.jobs.failed")),
+      static_cast<unsigned long long>(get("engine.map.tasks")),
+      get("engine.shuffle.bytes_wire") / 1048576.0,
+      get("engine.dfs.write_bytes") / 1048576.0,
+      get("engine.map.remote_read_bytes") / 1048576.0,
+      static_cast<unsigned long long>(get("engine.tasks.retries")));
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  hists_.clear();
+  notes_.clear();
+}
+
+}  // namespace ysmart::obs

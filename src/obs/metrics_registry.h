@@ -1,0 +1,90 @@
+// MetricsRegistry: named counters, gauges and histograms for one
+// observed query lifecycle (or a whole bench run).
+//
+// Counter naming scheme (documented in DESIGN.md "Observability"):
+// dot-separated <component>.<entity>.<unit>, e.g.
+//
+//   engine.jobs.run            jobs executed
+//   engine.jobs.failed         jobs that DNF'd
+//   engine.map.tasks           map tasks across all jobs
+//   engine.map.input_bytes     bytes read by map tasks
+//   engine.map.output_bytes    raw map output bytes (post expansion)
+//   engine.map.remote_read_bytes  map input served from non-local replicas
+//   engine.shuffle.bytes_raw   map->reduce bytes before compression
+//   engine.shuffle.bytes_wire  map->reduce bytes on the wire
+//   engine.reduce.tasks        modeled reduce tasks (cluster-real count)
+//   engine.reduce.output_bytes reduce output bytes (one copy)
+//   engine.dfs.write_bytes     DFS writes including replication copies
+//   engine.tasks.retries       failed task attempts that were re-executed
+//   pool.tasks.submitted       tasks ever submitted to the shared pool
+//   pool.queue.peak_depth      peak task-queue depth observed
+//   pool.workers.peak_busy     peak concurrently-executing worker count
+//   pool.workers.size          pool size
+//
+// All counters that mirror QueryMetrics fields are incremented from the
+// exact values stored there, so a snapshot reconciles with the metrics
+// totals to the byte. Counter values are deterministic for a fixed seed;
+// only pool.* reflect host scheduling and are therefore excluded from
+// determinism comparisons.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace ysmart::obs {
+
+class MetricsRegistry {
+ public:
+  /// Histogram bucket upper bounds, in the observed unit (seconds for the
+  /// engine's task-time histograms); a final overflow bucket catches the
+  /// rest.
+  static constexpr std::array<double, 7> kBucketBounds = {
+      0.1, 1, 10, 60, 300, 1800, 7200};
+
+  struct Histogram {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::array<std::uint64_t, kBucketBounds.size() + 1> buckets{};
+  };
+
+  void add(std::string_view name, std::uint64_t delta);
+  /// Gauge with peak semantics: keeps the maximum ever set.
+  void set_max(std::string_view name, std::uint64_t value);
+  /// Gauge with last-value semantics.
+  void set(std::string_view name, std::uint64_t value);
+  /// Record one histogram observation.
+  void observe(std::string_view name, double value);
+  /// Free-text annotation (e.g. the last DNF reason); included in the
+  /// snapshot under "notes".
+  void note(std::string_view name, std::string_view text);
+
+  /// Counter value; 0 when the counter was never touched.
+  std::uint64_t counter(std::string_view name) const;
+  /// Note text; empty when absent.
+  std::string note_of(std::string_view name) const;
+  Histogram histogram(std::string_view name) const;
+
+  /// Deterministically-ordered JSON snapshot:
+  /// {"counters":{...},"histograms":{...},"notes":{...}}.
+  std::string json() const;
+
+  /// One-line human summary of the headline counters (shell \counters,
+  /// DNF diagnostics).
+  std::string summary_line() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> hists_;
+  std::map<std::string, std::string, std::less<>> notes_;
+};
+
+}  // namespace ysmart::obs

@@ -1,0 +1,67 @@
+// ObsContext: the observability subsystem's front door.
+//
+// One ObsContext = one tracer + one metrics registry, attached (non-
+// owning) to a Database/Engine via set_observer()/set_obs(). Everything
+// is off by default: an unattached engine carries a null pointer and
+// every instrumentation site reduces to a branch on it, so the disabled
+// path costs nothing and simulated metrics are bit-identical with
+// observability on or off (tests/test_obs.cpp pins this down).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace ysmart::obs {
+
+struct ObsContext {
+  Tracer tracer;
+  MetricsRegistry metrics;
+
+  void clear() {
+    tracer.clear();
+    metrics.clear();
+  }
+};
+
+/// RAII span: begins on construction (when `obs` is non-null), ends on
+/// destruction. All methods are no-ops on a disabled span, so call sites
+/// read linearly without null checks.
+class ScopedSpan {
+ public:
+  ScopedSpan(ObsContext* obs, std::string name, std::string category)
+      : tracer_(obs ? &obs->tracer : nullptr) {
+    if (tracer_) id_ = tracer_->begin(std::move(name), std::move(category));
+  }
+  ~ScopedSpan() {
+    if (tracer_) tracer_->end(id_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  explicit operator bool() const { return tracer_ != nullptr; }
+  int id() const { return id_; }
+
+  void sim(double start_s, double dur_s) {
+    if (tracer_) tracer_->set_sim(id_, start_s, dur_s);
+  }
+  void arg(std::string key, std::uint64_t value) {
+    if (tracer_) tracer_->arg(id_, std::move(key), value);
+  }
+  void arg(std::string key, double value) {
+    if (tracer_) tracer_->arg(id_, std::move(key), value);
+  }
+  void arg(std::string key, std::string_view value) {
+    if (tracer_) tracer_->arg(id_, std::move(key), value);
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  int id_ = -1;
+};
+
+}  // namespace ysmart::obs

@@ -5,6 +5,8 @@
 
 #include "cmf/common_job.h"
 #include "common/error.h"
+#include "common/strings.h"
+#include "obs/obs.h"
 
 namespace ysmart {
 
@@ -27,6 +29,7 @@ QueryRunResult run_translated(const TranslatedQuery& query, Engine& engine,
   for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
 
   bool any_failed = false;
+  std::size_t wave_idx = 0;
   while (!pending.empty() && !any_failed) {
     std::vector<std::size_t> wave;
     for (std::size_t i : pending) {
@@ -40,10 +43,19 @@ QueryRunResult run_translated(const TranslatedQuery& query, Engine& engine,
     }
     check(!wave.empty(), "translated query has a dependency cycle");
 
+    obs::ObsContext* obs = engine.obs();
+    obs::ScopedSpan wave_span(obs, strf("wave:%zu", wave_idx++), "wave");
+    // Jobs in one wave run concurrently on the modeled timeline: every
+    // job in it starts at the wave's simulated start, and the wave ends
+    // when its slowest job does. The engine advances the tracer's sim
+    // cursor past each job, so rewind it to the wave start per job and
+    // place it at wave start + wave elapsed afterwards.
+    const double wave_sim0 = obs ? obs->tracer.sim_now() : 0.0;
     double wave_wall = 0;
     for (std::size_t i : wave) {
       const auto& job = query.jobs[i];
       MRJobSpec spec = build_common_job(job, profile, engine.dfs());
+      if (obs) obs->tracer.set_sim_now(wave_sim0);
       JobMetrics m = engine.run(spec);
       wave_wall = std::max(wave_wall, m.total_time_s());
       any_failed |= m.failed;
@@ -54,6 +66,11 @@ QueryRunResult run_translated(const TranslatedQuery& query, Engine& engine,
       }
     }
     out.metrics.wall_time_s += wave_wall;
+    if (obs) {
+      wave_span.sim(wave_sim0, wave_wall);
+      wave_span.arg("jobs", static_cast<std::uint64_t>(wave.size()));
+      obs->tracer.set_sim_now(wave_sim0 + wave_wall);
+    }
     std::vector<std::size_t> rest;
     for (std::size_t i : pending)
       if (std::find(wave.begin(), wave.end(), i) == wave.end())

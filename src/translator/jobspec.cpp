@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "mr/metrics.h"
 
 namespace ysmart {
 
@@ -110,7 +111,7 @@ std::string dot_escape(std::string s) {
 }
 }  // namespace
 
-std::string TranslatedQuery::to_dot() const {
+std::string TranslatedQuery::to_dot(const QueryMetrics* metrics) const {
   std::string out = "digraph jobs {\n  rankdir=LR;\n  node [shape=box];\n";
   // One cluster per job; a synthetic node per input/output path.
   std::map<std::string, int> path_node;
@@ -124,6 +125,20 @@ std::string TranslatedQuery::to_dot() const {
     path_node[path] = id;
     return id;
   };
+  // Metrics rows are matched to jobs by name, first unused row wins:
+  // JobMetrics.job_name is exactly TranslatedJob.name, but baseline
+  // translations can repeat a name (several JOIN jobs), and a failed
+  // query has fewer rows than jobs.
+  std::vector<bool> used(metrics ? metrics->jobs.size() : 0, false);
+  auto metrics_for = [&](const std::string& name) -> const JobMetrics* {
+    if (!metrics) return nullptr;
+    for (std::size_t i = 0; i < metrics->jobs.size(); ++i)
+      if (!used[i] && metrics->jobs[i].job_name == name) {
+        used[i] = true;
+        return &metrics->jobs[i];
+      }
+    return nullptr;
+  };
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     const auto& job = jobs[j];
     out += strf("  subgraph cluster_%zu {\n    label=\"%s\";\n", j,
@@ -134,6 +149,12 @@ std::string TranslatedQuery::to_dot() const {
       out += dot_escape(job.stages[s].op->label);
     }
     if (job.stages.empty()) out += dot_escape(job.name);
+    if (const JobMetrics* m = metrics_for(job.name)) {
+      out += strf("\\nmap %.1fs  reduce %.1fs\\nshuffle %.1f MB",
+                  m->map_time_s, m->reduce_time_s,
+                  static_cast<double>(m->shuffle_bytes_wire) / (1024.0 * 1024));
+      if (m->failed) out += "\\nFAILED";
+    }
     out += "\"];\n  }\n";
     for (const auto& in : job.input_files)
       out += strf("  p%d -> j%zu;\n", path_id(in.path), j);

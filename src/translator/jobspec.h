@@ -21,6 +21,8 @@
 
 namespace ysmart {
 
+struct QueryMetrics;
+
 /// How a translator behaves; models the systems compared in Section VII.
 struct TranslatorProfile {
   std::string name;
@@ -161,8 +163,11 @@ struct TranslatedQuery {
   std::string describe() const;
 
   /// Graphviz DOT of the job DAG: one cluster per job showing its merged
-  /// stages, with inter-job edges through the DFS intermediates.
-  std::string to_dot() const;
+  /// stages, with inter-job edges through the DFS intermediates. With
+  /// `metrics` from a run of this query, each job node is annotated with
+  /// its simulated phase times and wire shuffle bytes (rows matched to
+  /// jobs by name, in order).
+  std::string to_dot(const QueryMetrics* metrics = nullptr) const;
 };
 
 }  // namespace ysmart

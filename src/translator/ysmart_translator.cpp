@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "common/error.h"
+#include "obs/obs.h"
 #include "plan/prune.h"
 #include "translator/baseline.h"
 #include "translator/correlation.h"
@@ -213,39 +215,53 @@ class Merger {
 TranslatedQuery translate_ysmart(const PlanPtr& plan,
                                  const TranslatorProfile& profile,
                                  const std::string& scratch_prefix,
-                                 const StatsCatalog* stats) {
+                                 const StatsCatalog* stats,
+                                 obs::ObsContext* obs) {
   prune_plan(plan);
   PkSelectionOptions pk_options;
   pk_options.cost_based = profile.cost_based_pk;
   pk_options.stats = stats;
   pk_options.min_groups_for_subset_pk = profile.min_groups_for_subset_pk;
-  CorrelationAnalysis ca(plan, pk_options);
-  if (ca.ops().empty()) {
+  std::optional<CorrelationAnalysis> ca;
+  {
+    obs::ScopedSpan detect(obs, "correlation-detect", "translate");
+    ca.emplace(plan, pk_options);
+    detect.arg("operations", static_cast<std::uint64_t>(ca->ops().size()));
+  }
+  if (ca->ops().empty()) {
     // Pure selection/projection on a base table: a single SP job.
     TranslatedQuery out;
     out.plan = plan;
     out.jobs.push_back(lower_scan_only(plan.get(), {scratch_prefix}));
     return out;
   }
-  Merger merger(ca);
-  if (profile.use_input_transit_correlation) merger.merge_input_transit();
-  if (profile.use_job_flow_correlation) merger.merge_job_flow();
+  Merger merger(*ca);
+  {
+    obs::ScopedSpan merge(obs, "merge", "translate");
+    if (profile.use_input_transit_correlation) merger.merge_input_transit();
+    if (profile.use_job_flow_correlation) merger.merge_job_flow();
+  }
 
   LoweringContext ctx{scratch_prefix};
   TranslatedQuery out;
   out.plan = plan;
-  for (const auto& ops : merger.ordered_drafts())
-    out.jobs.push_back(
-        lower_draft(ops, ca, ctx, profile, /*use_chosen_pk=*/true));
+  {
+    obs::ScopedSpan lower(obs, "lower", "translate");
+    for (const auto& ops : merger.ordered_drafts())
+      out.jobs.push_back(
+          lower_draft(ops, *ca, ctx, profile, /*use_chosen_pk=*/true));
+    lower.arg("jobs", static_cast<std::uint64_t>(out.jobs.size()));
+  }
   return out;
 }
 
 TranslatedQuery translate(const PlanPtr& plan, const TranslatorProfile& profile,
                           const std::string& scratch_prefix,
-                          const StatsCatalog* stats) {
-  return profile.correlation_aware
-             ? translate_ysmart(plan, profile, scratch_prefix, stats)
-             : translate_baseline(plan, profile, scratch_prefix);
+                          const StatsCatalog* stats, obs::ObsContext* obs) {
+  if (profile.correlation_aware)
+    return translate_ysmart(plan, profile, scratch_prefix, stats, obs);
+  obs::ScopedSpan lower(obs, "lower", "translate");
+  return translate_baseline(plan, profile, scratch_prefix);
 }
 
 }  // namespace ysmart

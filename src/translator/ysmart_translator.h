@@ -27,15 +27,22 @@
 
 namespace ysmart {
 
+namespace obs {
+struct ObsContext;
+}
+
 /// `stats` (optional) enables the profile's cost-based PK selection.
+/// `obs` (optional) records correlation-detect / merge / lower spans.
 TranslatedQuery translate_ysmart(const PlanPtr& plan,
                                  const TranslatorProfile& profile,
                                  const std::string& scratch_prefix,
-                                 const StatsCatalog* stats = nullptr);
+                                 const StatsCatalog* stats = nullptr,
+                                 obs::ObsContext* obs = nullptr);
 
 /// Dispatch on profile.correlation_aware: YSmart-style or baseline.
 TranslatedQuery translate(const PlanPtr& plan, const TranslatorProfile& profile,
                           const std::string& scratch_prefix,
-                          const StatsCatalog* stats = nullptr);
+                          const StatsCatalog* stats = nullptr,
+                          obs::ObsContext* obs = nullptr);
 
 }  // namespace ysmart

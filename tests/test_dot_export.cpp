@@ -4,6 +4,7 @@
 #include <algorithm>
 
 #include "data/queries.h"
+#include "mr/metrics.h"
 #include "data/tpch_gen.h"
 #include "plan/builder.h"
 #include "plan/printer.h"
@@ -49,6 +50,49 @@ TEST(DotExport, JobDagShowsClustersAndIntermediates) {
   EXPECT_NE(dot.find("JOIN2"), std::string::npos);
   EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
             std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(DotExport, MetricsAnnotateJobNodesByName) {
+  auto plan = plan_query(queries::q17().sql, cat());
+  auto q = translate_ysmart(plan, TranslatorProfile::ysmart(), "/s");
+  ASSERT_GE(q.jobs.size(), 2u);
+
+  QueryMetrics m;
+  JobMetrics j0;
+  j0.job_name = q.jobs[0].name;
+  j0.map_time_s = 12.25;
+  j0.reduce_time_s = 7.5;
+  j0.shuffle_bytes_wire = 3 * 1024 * 1024;
+  m.jobs.push_back(j0);
+
+  const std::string dot = q.to_dot(&m);
+  EXPECT_NE(dot.find("map 12.2s  reduce 7.5s"), std::string::npos);
+  EXPECT_NE(dot.find("shuffle 3.0 MB"), std::string::npos);
+  // Only the matched job is annotated; the second job has no metrics row.
+  EXPECT_EQ(dot.find("map 0.0s"), std::string::npos);
+  // No metrics: identical to the unannotated export.
+  EXPECT_EQ(q.to_dot(), q.to_dot(nullptr));
+  EXPECT_EQ(q.to_dot().find("map 12.2s"), std::string::npos);
+}
+
+TEST(DotExport, FailedJobAnnotationAndRepeatedNames) {
+  auto plan = plan_query(queries::q17().sql, cat());
+  auto q = translate_ysmart(plan, TranslatorProfile::ysmart(), "/s");
+  // Two rows with the same name: first-unused-row matching gives the one
+  // job of that name row 0; row 1 stays unused (mismatched rows are
+  // skipped, as after a partial DNF run).
+  QueryMetrics m;
+  for (int i = 0; i < 2; ++i) {
+    JobMetrics j;
+    j.job_name = q.jobs[0].name;
+    j.map_time_s = static_cast<double>(i + 1);
+    j.failed = i == 0;
+    m.jobs.push_back(j);
+  }
+  const std::string dot = q.to_dot(&m);
+  EXPECT_NE(dot.find("map 1.0s"), std::string::npos);
+  EXPECT_EQ(dot.find("map 2.0s"), std::string::npos);
+  EXPECT_NE(dot.find("FAILED"), std::string::npos);
 }
 
 TEST(DotExport, FilterLiteralsSurviveInLabels) {

@@ -1,0 +1,416 @@
+// Tests for the observability subsystem (src/obs) and its supporting
+// pieces: the JSON writer, env parsing, span tracer, metrics registry,
+// and — the load-bearing guarantees — that observation never perturbs
+// simulated results and that the simulated-axis trace is deterministic.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "api/database.h"
+#include "common/env.h"
+#include "common/json.h"
+#include "data/queries.h"
+#include "obs/obs.h"
+#include "storage/table.h"
+
+namespace ysmart {
+namespace {
+
+// ---- a strict mini JSON parser: validates syntax, keeps nothing ----
+// Used to prove the emitted traces/snapshots are real JSON without
+// depending on an external parser.
+class MiniJson {
+ public:
+  explicit MiniJson(std::string_view s) : s_(s) {}
+  bool parse() {
+    skip_ws();
+    return value() && (skip_ws(), pos_ == s_.size());
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!peek(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek('}')) return true;
+      if (!peek(',')) return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek(']')) return true;
+      if (!peek(',')) return false;
+    }
+  }
+  bool string() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (static_cast<unsigned char>(s_[pos_]) < 0x20) return false;
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char c = s_[pos_];
+        if (c == 'u') {
+          for (int i = 0; i < 4; ++i)
+            if (++pos_ >= s_.size() || !std::isxdigit(s_[pos_])) return false;
+        } else if (!strchr("\"\\/bfnrt", c)) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return peek('"');
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek('-')) {}
+    while (pos_ < s_.size() && std::isdigit(s_[pos_])) ++pos_;
+    if (peek('.'))
+      while (pos_ < s_.size() && std::isdigit(s_[pos_])) ++pos_;
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() && std::isdigit(s_[pos_])) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  bool peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(s_[pos_])) ++pos_;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- fixture data: a tiny clicks table, enough for Q-CSA's job DAG ----
+
+std::shared_ptr<Table> tiny_clicks() {
+  Schema cl;
+  cl.add("uid", ValueType::Int);
+  cl.add("page_id", ValueType::Int);
+  cl.add("cid", ValueType::Int);
+  cl.add("ts", ValueType::Int);
+  auto t = std::make_shared<Table>(cl);
+  for (int i = 0; i < 400; ++i)
+    t->append({Value{i % 7}, Value{i % 13}, Value{i % 5}, Value{i}});
+  return t;
+}
+
+std::unique_ptr<Database> fresh_db() {
+  auto db = std::make_unique<Database>(ClusterConfig::small_local(50));
+  db->create_table("clicks", tiny_clicks());
+  return db;
+}
+
+// ---- JsonWriter ----
+
+TEST(JsonWriter, NestingAndCommas) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("a", 1);
+  w.key("b").begin_array().value(true).value("x").value(2.5).end_array();
+  w.key("c").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[true,"x",2.5],"c":{}})");
+  EXPECT_TRUE(MiniJson(w.str()).parse());
+}
+
+TEST(JsonWriter, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te\x01"), "a\\\"b\\\\c\\nd\\te\\u0001");
+  JsonWriter w;
+  w.begin_object().kv("k\n", "v\"").end_object();
+  EXPECT_TRUE(MiniJson(w.str()).parse());
+}
+
+TEST(JsonWriter, DoublesRoundTrip) {
+  JsonWriter w;
+  w.begin_array().value(1.0 / 3.0).value(1e-300).value(0.0).end_array();
+  EXPECT_TRUE(MiniJson(w.str()).parse());
+  EXPECT_NE(w.str().find("0.33333333333333331"), std::string::npos);
+}
+
+// ---- env parsing ----
+
+TEST(EnvParsing, PositiveIntAcceptsAndRejects) {
+  EXPECT_EQ(parse_positive_int("8"), 8);
+  EXPECT_EQ(parse_positive_int("  16 "), 16);
+  EXPECT_EQ(parse_positive_int("0"), std::nullopt);
+  EXPECT_EQ(parse_positive_int("-3"), std::nullopt);
+  EXPECT_EQ(parse_positive_int("four"), std::nullopt);
+  EXPECT_EQ(parse_positive_int("8x"), std::nullopt);
+  EXPECT_EQ(parse_positive_int(""), std::nullopt);
+  EXPECT_EQ(parse_positive_int("99999999999999999999"), std::nullopt);
+}
+
+TEST(EnvParsing, EnvPositiveIntFallsBackOnGarbage) {
+  ::setenv("YSMART_TEST_ENV", "garbage", 1);
+  EXPECT_EQ(env_positive_int("YSMART_TEST_ENV"), std::nullopt);
+  ::setenv("YSMART_TEST_ENV", "12", 1);
+  EXPECT_EQ(env_positive_int("YSMART_TEST_ENV"), 12);
+  ::unsetenv("YSMART_TEST_ENV");
+  EXPECT_EQ(env_positive_int("YSMART_TEST_ENV"), std::nullopt);
+}
+
+TEST(EnvParsing, EnvNonempty) {
+  ::setenv("YSMART_TEST_ENV", "/tmp/x.json", 1);
+  EXPECT_EQ(env_nonempty("YSMART_TEST_ENV"), "/tmp/x.json");
+  ::setenv("YSMART_TEST_ENV", "", 1);
+  EXPECT_EQ(env_nonempty("YSMART_TEST_ENV"), std::nullopt);
+  ::unsetenv("YSMART_TEST_ENV");
+  EXPECT_EQ(env_nonempty("YSMART_TEST_ENV"), std::nullopt);
+}
+
+// ---- tracer structure ----
+
+TEST(Tracer, SpansNestLifoAndParentCorrectly) {
+  obs::Tracer t;
+  const int a = t.begin("a", "query");
+  const int b = t.begin("b", "phase");
+  t.end(b);
+  const int c = t.begin("c", "phase");
+  t.end(c);
+  t.end(a);
+  ASSERT_TRUE(t.well_formed());
+  const auto spans = t.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].parent, a);
+  EXPECT_EQ(spans[2].parent, a);
+  for (const auto& s : spans) EXPECT_FALSE(s.open());
+}
+
+TEST(Tracer, OutOfOrderEndMarksMalformedButStillCloses) {
+  obs::Tracer t;
+  const int a = t.begin("a", "query");
+  const int b = t.begin("b", "phase");
+  t.end(a);  // closes b too (LIFO violation)
+  EXPECT_FALSE(t.well_formed());
+  for (const auto& s : t.spans()) EXPECT_FALSE(s.open());
+  EXPECT_TRUE(MiniJson(t.chrome_json()).parse());
+  (void)b;
+}
+
+TEST(Tracer, SimIntervalSettableAfterEnd) {
+  obs::Tracer t;
+  const int a = t.begin("a", "job");
+  t.end(a);
+  t.set_sim(a, 10.0, 5.0);
+  const auto spans = t.spans();
+  EXPECT_TRUE(spans[0].has_sim());
+  EXPECT_DOUBLE_EQ(spans[0].sim_start_s, 10.0);
+  EXPECT_DOUBLE_EQ(spans[0].sim_dur_s, 5.0);
+}
+
+// ---- the query lifecycle, traced ----
+
+TEST(QueryTrace, HierarchyCoversTheWholeLifecycle) {
+  auto db = fresh_db();
+  obs::ObsContext obs;
+  db->set_observer(&obs);
+  auto run = db->run(queries::qcsa().sql, TranslatorProfile::ysmart());
+  ASSERT_FALSE(run.metrics.failed());
+  ASSERT_TRUE(obs.tracer.well_formed());
+
+  const std::string tree = obs.tracer.analyze_tree();
+  for (const char* name :
+       {"query:ysmart", "translate:ysmart", "parse+plan", "correlation-detect",
+        "merge", "lower", "wave:0", "job:", "map", "shuffle-sort", "reduce",
+        "post-job"})
+    EXPECT_NE(tree.find(name), std::string::npos) << "missing span: " << name;
+
+  // One wave span and one job span per executed job (serial submission).
+  int waves = 0, jobs = 0;
+  for (const auto& s : obs.tracer.spans()) {
+    waves += s.category == "wave";
+    jobs += s.category == "job";
+  }
+  EXPECT_EQ(jobs, run.metrics.job_count());
+  EXPECT_EQ(waves, run.metrics.job_count());
+}
+
+TEST(QueryTrace, ChromeExportParsesBothAxes) {
+  auto db = fresh_db();
+  obs::ObsContext obs;
+  db->set_observer(&obs);
+  db->run(queries::qcsa().sql, TranslatorProfile::hive());
+  for (auto axis : {obs::TimeAxis::Simulated, obs::TimeAxis::Wall,
+                    obs::TimeAxis::Both}) {
+    const std::string json = obs.tracer.chrome_json(axis);
+    EXPECT_TRUE(MiniJson(json).parse()) << "axis JSON does not parse";
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  }
+  // The two axes appear as two named pseudo-processes.
+  const std::string both = obs.tracer.chrome_json(obs::TimeAxis::Both);
+  EXPECT_NE(both.find("simulated cluster"), std::string::npos);
+  EXPECT_NE(both.find("host wall-clock"), std::string::npos);
+}
+
+TEST(QueryTrace, SimulatedAxisIsDeterministic) {
+  std::string exports[2];
+  for (int i = 0; i < 2; ++i) {
+    auto db = fresh_db();
+    obs::ObsContext obs;
+    db->set_observer(&obs);
+    db->run(queries::qcsa().sql, TranslatorProfile::ysmart());
+    exports[i] = obs.tracer.chrome_json(obs::TimeAxis::Simulated);
+  }
+  EXPECT_EQ(exports[0], exports[1])
+      << "simulated-axis trace must be byte-identical across runs";
+}
+
+TEST(QueryTrace, ObservationDoesNotPerturbSimulatedMetrics) {
+  auto plain_db = fresh_db();
+  auto traced_db = fresh_db();
+  obs::ObsContext obs;
+  traced_db->set_observer(&obs);
+
+  auto plain = plain_db->run(queries::qcsa().sql, TranslatorProfile::hive());
+  auto traced = traced_db->run(queries::qcsa().sql, TranslatorProfile::hive());
+
+  ASSERT_EQ(plain.metrics.job_count(), traced.metrics.job_count());
+  for (int i = 0; i < plain.metrics.job_count(); ++i) {
+    const auto& a = plain.metrics.jobs[static_cast<std::size_t>(i)];
+    const auto& b = traced.metrics.jobs[static_cast<std::size_t>(i)];
+    EXPECT_DOUBLE_EQ(a.map_time_s, b.map_time_s);
+    EXPECT_DOUBLE_EQ(a.reduce_time_s, b.reduce_time_s);
+    EXPECT_DOUBLE_EQ(a.sched_delay_s, b.sched_delay_s);
+    EXPECT_EQ(a.shuffle_bytes_wire, b.shuffle_bytes_wire);
+    EXPECT_EQ(a.dfs_write_bytes, b.dfs_write_bytes);
+  }
+  EXPECT_EQ(plain.result->row_count(), traced.result->row_count());
+}
+
+// ---- metrics registry ----
+
+TEST(Metrics, CountersReconcileWithQueryMetrics) {
+  auto db = fresh_db();
+  obs::ObsContext obs;
+  db->set_observer(&obs);
+  auto run = db->run(queries::qcsa().sql, TranslatorProfile::hive());
+  ASSERT_FALSE(run.metrics.failed());
+
+  const auto& m = run.metrics;
+  const auto& reg = obs.metrics;
+  EXPECT_EQ(reg.counter("engine.jobs.run"),
+            static_cast<std::uint64_t>(m.job_count()));
+  EXPECT_EQ(reg.counter("engine.shuffle.bytes_wire"), m.total_shuffle_bytes());
+  EXPECT_EQ(reg.counter("engine.map.input_bytes"), m.total_map_input_bytes());
+  EXPECT_EQ(reg.counter("engine.dfs.write_bytes"), m.total_dfs_write_bytes());
+  std::uint64_t map_tasks = 0;
+  for (const auto& j : m.jobs) map_tasks += j.map.tasks;
+  EXPECT_EQ(reg.counter("engine.map.tasks"), map_tasks);
+  EXPECT_EQ(reg.counter("engine.jobs.failed"), 0u);
+
+  // Histograms saw one observation per task.
+  EXPECT_EQ(reg.histogram("engine.map.task_sim_seconds").count, map_tasks);
+
+  const std::string snapshot = reg.json();
+  EXPECT_TRUE(MiniJson(snapshot).parse());
+  EXPECT_NE(snapshot.find("engine.shuffle.bytes_wire"), std::string::npos);
+  EXPECT_NE(reg.summary_line().find("jobs="), std::string::npos);
+}
+
+TEST(Metrics, FailedQueryLeavesReasonNote) {
+  auto cfg = ClusterConfig::small_local(50);
+  cfg.local_disk_capacity_bytes = 1 << 20;  // everything overflows
+  Database db(cfg);
+  db.create_table("clicks", tiny_clicks());
+  obs::ObsContext obs;
+  db.set_observer(&obs);
+  auto run = db.run(queries::qcsa().sql, TranslatorProfile::hive());
+  ASSERT_TRUE(run.metrics.failed());
+  EXPECT_GE(obs.metrics.counter("engine.jobs.failed"), 1u);
+  EXPECT_NE(obs.metrics.note_of("engine.last_fail_reason").find("disk"),
+            std::string::npos);
+}
+
+TEST(Metrics, RegistrySnapshotIsDeterministicallyOrdered) {
+  obs::MetricsRegistry reg;
+  reg.add("z.last", 1);
+  reg.add("a.first", 2);
+  reg.note("m.note", "text");
+  const std::string json = reg.json();
+  EXPECT_TRUE(MiniJson(json).parse());
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+}
+
+// ---- null observer costs nothing and crashes nothing ----
+
+TEST(NullObserver, ScopedSpanIsSafeOnNull) {
+  obs::ScopedSpan s(nullptr, "x", "phase");
+  EXPECT_FALSE(static_cast<bool>(s));
+  EXPECT_EQ(s.id(), -1);
+  s.sim(1, 2);
+  s.arg("k", std::uint64_t{1});
+  s.arg("k", 1.5);
+  s.arg("k", std::string_view("v"));
+}
+
+TEST(NullObserver, DetachReallyDetaches) {
+  auto db = fresh_db();
+  obs::ObsContext obs;
+  db->set_observer(&obs);
+  db->run(queries::qagg().sql, TranslatorProfile::ysmart());
+  const std::size_t count = obs.tracer.span_count();
+  EXPECT_GT(count, 0u);
+  db->set_observer(nullptr);
+  db->run(queries::qagg().sql, TranslatorProfile::ysmart());
+  EXPECT_EQ(obs.tracer.span_count(), count);
+}
+
+TEST(NullObserver, ObserverSurvivesReconfigureCluster) {
+  auto db = fresh_db();
+  obs::ObsContext obs;
+  db->set_observer(&obs);
+  db->reconfigure_cluster(ClusterConfig::small_local(25));
+  db->create_table("clicks", tiny_clicks());
+  db->run(queries::qagg().sql, TranslatorProfile::ysmart());
+  EXPECT_GT(obs.tracer.span_count(), 0u);
+  EXPECT_GT(obs.metrics.counter("engine.jobs.run"), 0u);
+}
+
+}  // namespace
+}  // namespace ysmart

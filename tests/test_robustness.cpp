@@ -13,6 +13,7 @@
 #include "data/clicks_gen.h"
 #include "data/queries.h"
 #include "mr/engine.h"
+#include "obs/obs.h"
 #include "sql/parser.h"
 
 namespace ysmart {
@@ -241,34 +242,50 @@ TEST(PoolInvariance, ResultsAndSimulatedSecondsIdenticalAcrossPoolSizes) {
   cfg.task_failure_rate = 0.2;  // exercise the retry RNG stream too
   cfg.contention.enabled = true;
 
-  JobMetrics m1, mn;
-  std::shared_ptr<const Table> t1, tn;
+  JobMetrics m1, mn, m1o, mno;
+  std::shared_ptr<const Table> t1, tn, t1o, tno;
   auto run_with = [&](ThreadPool& pool, JobMetrics& m,
-                      std::shared_ptr<const Table>& t) {
+                      std::shared_ptr<const Table>& t,
+                      obs::ObsContext* obs = nullptr) {
     Dfs dfs(cfg.worker_nodes, cfg.scaled_block_bytes(), cfg.replication);
     dfs.write("/in", data);
     Engine engine(dfs, cfg, &pool);
+    engine.set_obs(obs);
     m = engine.run(counting_spec());
     t = dfs.file("/out").table;
   };
 
   ThreadPool serial(1), wide(8);
+  obs::ObsContext o1, on;
   run_with(serial, m1, t1);
   run_with(wide, mn, tn);
+  run_with(serial, m1o, t1o, &o1);
+  run_with(wide, mno, tno, &on);
 
-  // Bit-identical simulated times and measured quantities.
-  EXPECT_DOUBLE_EQ(m1.map_time_s, mn.map_time_s);
-  EXPECT_DOUBLE_EQ(m1.reduce_time_s, mn.reduce_time_s);
-  EXPECT_DOUBLE_EQ(m1.sched_delay_s, mn.sched_delay_s);
-  EXPECT_EQ(m1.shuffle_bytes_raw, mn.shuffle_bytes_raw);
-  EXPECT_EQ(m1.shuffle_bytes_wire, mn.shuffle_bytes_wire);
-  EXPECT_EQ(m1.dfs_write_bytes, mn.dfs_write_bytes);
-  EXPECT_EQ(m1.reduce.output_records, mn.reduce.output_records);
+  // Bit-identical simulated times and measured quantities — across pool
+  // sizes, and with tracing enabled vs disabled.
+  for (const JobMetrics* other : {&mn, &m1o, &mno}) {
+    EXPECT_DOUBLE_EQ(m1.map_time_s, other->map_time_s);
+    EXPECT_DOUBLE_EQ(m1.reduce_time_s, other->reduce_time_s);
+    EXPECT_DOUBLE_EQ(m1.sched_delay_s, other->sched_delay_s);
+    EXPECT_EQ(m1.shuffle_bytes_raw, other->shuffle_bytes_raw);
+    EXPECT_EQ(m1.shuffle_bytes_wire, other->shuffle_bytes_wire);
+    EXPECT_EQ(m1.dfs_write_bytes, other->dfs_write_bytes);
+    EXPECT_EQ(m1.reduce.output_records, other->reduce.output_records);
+  }
   // Identical rows in identical order (not just as a multiset).
-  ASSERT_EQ(t1->row_count(), tn->row_count());
-  for (std::size_t i = 0; i < t1->rows().size(); ++i)
-    EXPECT_EQ(compare_rows(t1->rows()[i], tn->rows()[i]),
-              std::strong_ordering::equal);
+  for (const auto* t : {&tn, &t1o, &tno}) {
+    ASSERT_EQ(t1->row_count(), (*t)->row_count());
+    for (std::size_t i = 0; i < t1->rows().size(); ++i)
+      EXPECT_EQ(compare_rows(t1->rows()[i], (*t)->rows()[i]),
+                std::strong_ordering::equal);
+  }
+  // The simulated-axis trace is itself pool-size invariant, byte for
+  // byte; only the wall axis may differ.
+  EXPECT_TRUE(o1.tracer.well_formed());
+  EXPECT_TRUE(on.tracer.well_formed());
+  EXPECT_EQ(o1.tracer.chrome_json(obs::TimeAxis::Simulated),
+            on.tracer.chrome_json(obs::TimeAxis::Simulated));
 }
 
 // ---- explain output is deterministic ----

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Validate a bench --json report against bench/bench_schema.json.
+
+Standard library only (CI runs it without installing anything). Understands
+the subset of JSON Schema the schema file uses: type, required, properties,
+items, enum, minimum.
+
+Usage: tools/validate_bench_json.py SCHEMA REPORT [REPORT...]
+"""
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "number": (int, float),
+    "integer": int,
+}
+
+
+def validate(value, schema, path, errors):
+    t = schema.get("type")
+    if t:
+        expected = TYPES[t]
+        ok = isinstance(value, expected)
+        # bool is a subclass of int in Python; JSON distinguishes them.
+        if ok and t in ("number", "integer") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {t}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required key '{req}'")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        schema = json.load(f)
+    status = 0
+    for report_path in argv[2:]:
+        with open(report_path) as f:
+            try:
+                report = json.load(f)
+            except json.JSONDecodeError as e:
+                print(f"{report_path}: invalid JSON: {e}", file=sys.stderr)
+                status = 1
+                continue
+        errors = []
+        validate(report, schema, "$", errors)
+        if not report.get("records"):
+            errors.append("$.records: empty — the bench recorded nothing")
+        if errors:
+            status = 1
+            for e in errors:
+                print(f"{report_path}: {e}", file=sys.stderr)
+        else:
+            n = len(report["records"])
+            print(f"{report_path}: OK ({n} records)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
