@@ -1,8 +1,9 @@
-// Machine-readable bench output: --json <path> and --trace <path>.
+// Machine-readable bench output: --json, --trace and --analyze <path>.
 //
 // Every figure bench accepts
 //
-//   fig10_small_cluster --json BENCH_fig10.json --trace fig10.trace.json
+//   fig10_small_cluster --json BENCH_fig10.json --trace fig10.trace.json \
+//                       --analyze fig10.analysis.json
 //
 // --json writes one JSON document (schema: bench/bench_schema.json,
 // validated in CI by tools/validate_bench_json.py) with one record per
@@ -10,8 +11,12 @@
 // counters, and host wall-clock. --trace additionally attaches an
 // observability context to every recorded run and writes the combined
 // Chrome trace_event file, loadable in chrome://tracing or Perfetto.
-// Without flags the benches behave exactly as before: no observer is
-// attached and nothing is written.
+// --analyze also attaches the context, runs the query-doctor analyzer
+// (obs/analyzer.h) over each run's task samples, embeds the analysis in
+// each --json record under "analyzer", and writes a standalone analyses
+// document (schema: bench/analyzer_schema.json) with the rendered text
+// reports. Without flags the benches behave exactly as before: no
+// observer is attached and nothing is written.
 #pragma once
 
 #include <chrono>
@@ -25,6 +30,7 @@
 #include "api/database.h"
 #include "common/json.h"
 #include "mr/metrics.h"
+#include "obs/analyzer.h"
 #include "obs/obs.h"
 
 namespace ysmart::bench {
@@ -54,6 +60,7 @@ class Report {
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::strcmp(argv[i], "--json") == 0) json_path_ = argv[i + 1];
       if (std::strcmp(argv[i], "--trace") == 0) trace_path_ = argv[i + 1];
+      if (std::strcmp(argv[i], "--analyze") == 0) analyze_path_ = argv[i + 1];
     }
   }
 
@@ -63,17 +70,28 @@ class Report {
   ~Report() { write(); }
 
   bool tracing() const { return !trace_path_.empty(); }
-  /// The observability context runs attach, or null when not tracing.
-  obs::ObsContext* obs() { return tracing() ? &obs_ : nullptr; }
+  bool analyzing() const { return !analyze_path_.empty(); }
+  /// The observability context runs attach, or null when neither tracing
+  /// nor analyzing.
+  obs::ObsContext* obs() {
+    return tracing() || analyzing() ? &obs_ : nullptr;
+  }
 
   void record(const std::string& query, const std::string& profile,
               const QueryMetrics& m, double wall_ms) {
-    if (json_path_.empty()) return;
+    if (json_path_.empty() && analyze_path_.empty()) return;
     Record r;
     r.query = query;
     r.profile = profile;
     r.metrics = m;
     r.wall_ms = wall_ms;
+    if (analyzing() && obs_.samples.query_count() > 0) {
+      // The run just recorded is the sample store's most recent query.
+      const obs::AnalyzerReport a =
+          obs::analyze_query(obs_.samples.last_query());
+      r.analyzer_json = a.json();
+      r.analyzer_text = a.text();
+    }
     records_.push_back(std::move(r));
   }
 
@@ -89,7 +107,33 @@ class Report {
       ok &= write_file(trace_path_, obs_.tracer.chrome_json(obs::TimeAxis::Both));
       trace_path_.clear();
     }
+    if (!analyze_path_.empty()) {
+      ok &= write_file(analyze_path_, analyses_json());
+      analyze_path_.clear();
+    }
     return ok;
+  }
+
+  /// The standalone analyses document (bench/analyzer_schema.json).
+  std::string analyses_json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("schema_version", kSchemaVersion);
+    w.kv("bench", std::string_view(bench_));
+    w.kv("git_sha", std::string_view(git_sha()));
+    w.key("analyses").begin_array();
+    for (const auto& r : records_) {
+      if (r.analyzer_json.empty()) continue;
+      w.begin_object();
+      w.kv("query", std::string_view(r.query));
+      w.kv("profile", std::string_view(r.profile));
+      w.key("analyzer").raw(r.analyzer_json);
+      w.kv("text", std::string_view(r.analyzer_text));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.take();
   }
 
   std::string json() const {
@@ -134,6 +178,7 @@ class Report {
       w.kv("remote_read", remote_read);
       w.end_object();
       w.kv("wall_ms", r.wall_ms);
+      if (!r.analyzer_json.empty()) w.key("analyzer").raw(r.analyzer_json);
       w.key("per_job").begin_array();
       for (const auto& j : m.jobs) {
         w.begin_object();
@@ -158,6 +203,8 @@ class Report {
     std::string profile;
     QueryMetrics metrics;
     double wall_ms = 0;
+    std::string analyzer_json;  // empty unless --analyze
+    std::string analyzer_text;
   };
 
   static bool write_file(const std::string& path, const std::string& body) {
@@ -173,6 +220,7 @@ class Report {
   std::string bench_;
   std::string json_path_;
   std::string trace_path_;
+  std::string analyze_path_;
   std::vector<Record> records_;
   obs::ObsContext obs_;
 };

@@ -10,6 +10,8 @@
 //   ysmart> \profile off
 //   ysmart> \trace /tmp/query.trace.json  (Chrome trace of last profiled run)
 //   ysmart> \counters                   (session metrics registry as JSON)
+//   ysmart> \analyze SELECT ... ;       (run + query-doctor skew report)
+//   ysmart> \analyze                    (re-print analysis of last sampled run)
 //   ysmart> \load mytable /path/data.csv   (schema inferred)
 //   ysmart> \save /path/out.csv SELECT ... ;
 //   ysmart> \tables
@@ -31,6 +33,7 @@
 #include "common/strings.h"
 #include "data/clicks_gen.h"
 #include "data/tpch_gen.h"
+#include "obs/analyzer.h"
 #include "obs/obs.h"
 #include "storage/csv.h"
 
@@ -72,9 +75,13 @@ void run_sql(Database& db, const TranslatorProfile& profile,
       return;
     }
     // Without a session-long trace, each profiled query gets a fresh
-    // timeline so the printed tree (and a following \trace) covers just
-    // that query. Counters always accumulate across the session.
-    if (db.observer() && !sobs.session_trace) sobs.ctx.tracer.clear();
+    // timeline (and fresh task samples) so the printed tree, a following
+    // \trace, and a bare \analyze cover just that query. Counters always
+    // accumulate across the session.
+    if (db.observer() && !sobs.session_trace) {
+      sobs.ctx.tracer.clear();
+      sobs.ctx.samples.clear();
+    }
     auto run = db.run(sql, profile);
     sobs.last_metrics = run.metrics;
     if (run.metrics.failed()) {
@@ -141,7 +148,7 @@ int main(int argc, char** argv) {
 
   std::cout << "ysmart interactive shell - tables: ";
   for (const auto& t : db.catalog().table_names()) std::cout << t << " ";
-  std::cout << "\ncommands: \\explain <sql>  \\profile "
+  std::cout << "\ncommands: \\explain <sql>  \\analyze [sql]  \\profile "
                "<ysmart|hive|pig|mrshare|hand|on|off>  \\trace <file>  "
                "\\counters  \\tables  \\quit\n";
 
@@ -199,6 +206,27 @@ int main(int argc, char** argv) {
           std::cout << "no counters - \\profile on first\n";
         } else {
           std::cout << sobs.ctx.metrics.json() << "\n";
+        }
+        continue;
+      }
+      if (cmd == "analyze") {
+        std::string rest;
+        std::getline(iss, rest);
+        const auto c = rest.find_first_not_of(" \t");
+        rest = c == std::string::npos ? std::string() : rest.substr(c);
+        if (!rest.empty()) {
+          // Run with the observer attached for the duration so samples
+          // are retained even when profiling is off.
+          const bool had_obs = db.observer() != nullptr;
+          if (!had_obs) db.set_observer(&sobs.ctx);
+          run_sql(db, profile, rest, /*explain_only=*/false, sobs);
+          if (!had_obs) db.set_observer(nullptr);
+        }
+        if (sobs.ctx.samples.query_count() == 0) {
+          std::cout << "nothing sampled yet - \\analyze <sql>, or \\profile "
+                       "on and run a query\n";
+        } else {
+          std::cout << obs::analyze_query(sobs.ctx.samples.last_query()).text();
         }
         continue;
       }

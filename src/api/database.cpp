@@ -64,6 +64,7 @@ QueryRunResult Database::run(const std::string& sql,
                              const TranslatorProfile& profile) {
   obs::ScopedSpan query_span(obs_, "query:" + profile.name, "query");
   const double sim0 = obs_ ? obs_->tracer.sim_now() : 0.0;
+  if (obs_) obs_->samples.begin_query();
   TranslatedQuery q = translate_query(sql, profile);
   QueryRunResult r = run_translated(q, *engine_, profile);
   if (obs_) {

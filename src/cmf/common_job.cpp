@@ -311,8 +311,10 @@ MRJobSpec build_common_job(const TranslatedJob& job,
       cj->combine_filter = BoundExpr(child->filter, fs);
       cj->combine_has_filter = true;
     }
-    for (const auto& g : agg->group_cols)
+    for (const auto& g : agg->group_cols) {
       cj->combine_group_exprs.emplace_back(Expr::make_column(g), fs);
+      spec.key_column_names.push_back(g);
+    }
     for (const auto& a : agg->aggs) {
       if (a.star)
         cj->combine_arg_exprs.emplace_back();
@@ -328,6 +330,12 @@ MRJobSpec build_common_job(const TranslatedJob& job,
     spec.make_reducer = [cj] { return std::make_unique<CombineAggReducer>(cj); };
     return spec;
   }
+
+  // Reduce key names for observability: every emission shares one
+  // partition-key shape, so the first emission's key expressions name it.
+  if (!job.emissions.empty())
+    for (const auto& k : job.emissions.front().key_exprs)
+      spec.key_column_names.push_back(k->to_string());
 
   // ---- compile emissions ----
   cj->emissions_by_file.resize(job.input_files.size());

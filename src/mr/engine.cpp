@@ -159,16 +159,24 @@ struct PartitionResult {
   ReduceTaskWork work;
   double task_seconds = 0;
   std::vector<std::shared_ptr<Table>> tables;  // one per job output
+
+  // Telemetry (filled only when the engine samples, i.e. obs attached).
+  std::uint64_t key_groups = 0;
+  std::vector<std::uint64_t> tag_records;  // records per map source tag
+  obs::SpaceSaving hot_keys;               // reduce keys weighted by records
 };
 
 /// Runs one reduce partition over its already-merged (shuffle-sorted)
 /// input. The merge itself happens in the engine's shuffle-sort pass so
-/// the two phases have distinct wall-clock spans.
+/// the two phases have distinct wall-clock spans. When `sample` is set
+/// the partition additionally retains key-group/tag/hot-key telemetry;
+/// nothing sampled feeds back into the work measurements or costs.
 PartitionResult run_reduce_partition(const MRJobSpec& spec,
                                      std::vector<KeyValue> part,
                                      const ClusterConfig& cfg,
                                      const CostModel& cost,
-                                     double reducer_scale, int attempts) {
+                                     double reducer_scale, int attempts,
+                                     bool sample) {
   PartitionResult res;
   ReduceTaskWork& w = res.work;
   for (const auto& kv : part)
@@ -190,6 +198,15 @@ PartitionResult run_reduce_partition(const MRJobSpec& spec,
   while (i < part.size()) {
     std::size_t j = i + 1;
     while (j < part.size() && compare_rows(part[i].key, part[j].key) == 0) ++j;
+    if (sample) {
+      ++res.key_groups;
+      res.hot_keys.offer(row_to_string(part[i].key), j - i);
+      for (std::size_t k = i; k < j; ++k) {
+        const std::size_t tag = part[k].source;
+        if (res.tag_records.size() <= tag) res.tag_records.resize(tag + 1);
+        ++res.tag_records[tag];
+      }
+    }
     reducer->reduce(part[i].key,
                     std::span<const KeyValue>(part.data() + i, j - i),
                     emitter);
@@ -257,6 +274,9 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
   obs::ScopedSpan job_span(obs_, "job:" + spec.name, "job");
   const double sim0 = obs_ ? obs_->tracer.sim_now() : 0.0;
   std::uint64_t retries = 0;
+  // Per-task samples retained for the analyzer; populated (and recorded by
+  // finalize) only when an ObsContext is attached.
+  obs::JobTaskSamples js;
   auto finalize = [&]() {
     if (!obs_) return;
     job_span.sim(sim0, m.total_time_s());
@@ -289,6 +309,16 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     reg.set_max("pool.queue.peak_depth", ps.peak_queue_depth);
     reg.set_max("pool.workers.peak_busy", ps.peak_busy_workers);
     reg.set("pool.workers.size", pool_->size());
+
+    js.job_name = m.job_name;
+    js.map_only = !spec.make_reducer;
+    js.failed = m.failed;
+    js.sched_delay_s = m.sched_delay_s;
+    js.map_time_s = m.map_time_s;
+    js.reduce_time_s = m.reduce_time_s;
+    js.target_reduce_tasks = m.reduce.tasks;
+    js.key_columns = spec.key_column_names;
+    obs_->samples.record_job(std::move(js));
   };
 
   // ---- contention: scheduling delay and reduced slot availability ----
@@ -381,6 +411,18 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     retries += static_cast<std::uint64_t>(plan.attempts - 1);
     map_task_times.push_back(
         plan.attempts * cost_.map_task_seconds(r.work, spec.map_cpu_multiplier));
+    if (obs_) {
+      obs::TaskSample s;
+      s.index = static_cast<int>(i);
+      s.input_records = r.work.input_records;
+      s.input_bytes = r.work.input_bytes;
+      s.output_records = r.work.output_records;
+      s.output_bytes = r.work.output_bytes_raw;
+      s.sim_seconds = map_task_times.back();
+      s.attempts = plan.attempts;
+      s.local_read = r.work.local_read;
+      js.map_tasks.push_back(std::move(s));
+    }
     if (plan.exhausted && !m.failed) {
       m.failed = true;
       m.fail_reason =
@@ -396,8 +438,10 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     obs_->tracer.arg(map_span_id, "tasks", m.map.tasks);
     obs_->tracer.arg(map_span_id, "input_bytes", m.map.input_bytes);
     obs_->tracer.arg(map_span_id, "output_bytes", m.map.output_bytes);
-    for (double t : map_task_times)
-      obs_->metrics.observe("engine.map.task_sim_seconds", t);
+    // Feed the histogram from the retained samples (identical values to
+    // map_task_times) so registry and samples reconcile exactly.
+    for (const auto& s : js.map_tasks)
+      obs_->metrics.observe("engine.map.task_sim_seconds", s.sim_seconds);
   }
 
   // Intermediate-disk capacity check (how Pig's Q-CSA run died: the
@@ -469,7 +513,8 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
           for (std::size_t p = begin; p < end; ++p)
             parts[p] = run_reduce_partition(spec, std::move(merged[p]), cfg_,
                                             cost_, reducer_scale,
-                                            plans[p].attempts);
+                                            plans[p].attempts,
+                                            /*sample=*/obs_ != nullptr);
         });
   }
 
@@ -485,6 +530,24 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     reduce_task_times.push_back(pr.task_seconds);
     retries += static_cast<std::uint64_t>(
         plans[static_cast<std::size_t>(p)].attempts - 1);
+    if (obs_) {
+      obs::TaskSample s;
+      s.index = p;
+      s.input_records = pr.work.input_records;
+      s.input_bytes = pr.work.shuffle_bytes_raw;
+      s.output_records = pr.work.output_records;
+      s.output_bytes = pr.work.output_bytes;
+      s.shuffle_bytes_raw = pr.work.shuffle_bytes_raw;
+      s.shuffle_bytes_wire = pr.work.shuffle_bytes_wire;
+      s.sim_seconds = pr.task_seconds;
+      s.attempts = plans[static_cast<std::size_t>(p)].attempts;
+      s.key_groups = pr.key_groups;
+      s.tag_records = pr.tag_records;
+      js.reduce_tasks.push_back(std::move(s));
+      // Per-partition sketches fold in fixed partition order, keeping the
+      // merged sketch deterministic at any pool size.
+      js.hot_keys.merge(pr.hot_keys);
+    }
     if (plans[static_cast<std::size_t>(p)].exhausted && !m.failed) {
       m.failed = true;
       m.fail_reason =
@@ -514,8 +577,15 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     obs_->tracer.arg(reduce_span_id, "tasks", m.reduce.tasks);
     obs_->tracer.arg(reduce_span_id, "shuffle_bytes_wire",
                      m.shuffle_bytes_wire);
-    for (double t : reduce_task_times)
-      obs_->metrics.observe("engine.reduce.task_sim_seconds", t);
+    // One histogram observation per *modeled* task, read from the retained
+    // per-partition samples (task i reuses sample i % partitions — exactly
+    // how reduce_task_times was expanded), so registry and samples
+    // reconcile.
+    for (int i = 0; i < target_reducers; ++i)
+      obs_->metrics.observe(
+          "engine.reduce.task_sim_seconds",
+          js.reduce_tasks[static_cast<std::size_t>(i % num_reducers)]
+              .sim_seconds);
   }
 
   // ---- write outputs: concatenate partition tables in partition order ----

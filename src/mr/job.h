@@ -90,6 +90,11 @@ struct MRJobSpec {
   /// 0 = engine picks (min(total reduce slots, kMaxSimReducers)).
   int num_reduce_tasks = 0;
 
+  /// Human-readable names of the reduce key columns (the partition key).
+  /// Purely informational — used by the observability layer to render hot
+  /// keys as "col=value"; empty when the producer does not fill it.
+  std::vector<std::string> key_column_names;
+
   // Translator cost profile knobs (how we model Hive vs Pig vs hand-coded
   // per-record constant factors; see DESIGN.md substitution table).
   double map_cpu_multiplier = 1.0;

@@ -1,0 +1,127 @@
+// The "query doctor": turns retained task samples into skew, straggler,
+// hot-key and critical-path analysis of one executed query.
+//
+// Everything here is a pure function of a QueryTaskSamples snapshot, so
+// an analysis can be (re)computed at any time after a run without
+// touching the engine. All statistics derive from simulated seconds and
+// measured bytes/records — deterministic for a fixed seed — so the
+// rendered report and its JSON form are byte-identical across runs and
+// thread-pool sizes.
+//
+// Definitions (also in DESIGN.md "Task-level observability"):
+//  * median      — lower median: sorted_times[(n-1)/2] (deterministic,
+//                  no averaging of middle elements).
+//  * cv          — coefficient of variation: population stddev / mean
+//                  (0 when mean is 0).
+//  * straggler   — a task with sim_seconds > threshold × median (default
+//                  threshold 2.0) in a phase with at least 2 tasks.
+//  * critical path — jobs group into dependency waves (the DAG
+//                  executor's submission waves); a wave's elapsed time
+//                  is its slowest job's total and the critical path is
+//                  the sum of wave elapsed times, accumulated in wave
+//                  order. This reproduces the executor's wall_time_s
+//                  computation operation-for-operation, so under any
+//                  submission mode critical_path_s == wall_time_s
+//                  exactly, and under serial submission it also equals
+//                  the serial job-time sum. Per-job slack is the wave's
+//                  elapsed time minus the job's total: how much longer
+//                  the job could have run without growing the makespan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/task_samples.h"
+
+namespace ysmart {
+class JsonWriter;
+}
+
+namespace ysmart::obs {
+
+struct AnalyzerOptions {
+  double straggler_threshold = 2.0;  // task > threshold * phase median
+  int top_partitions = 3;            // heaviest reduce partitions reported
+  int top_keys = 3;                  // hot keys reported per job
+  /// A hot key enters the diagnosis when it carries at least this share
+  /// of its job's reduce records (and more than one key group exists).
+  double hot_key_min_share = 0.10;
+  /// A partition enters the diagnosis when it holds at least this share
+  /// of its job's shuffle bytes and at least twice the fair share.
+  double partition_min_share = 0.25;
+};
+
+/// Distribution statistics of one phase's per-task simulated seconds.
+struct PhaseSkewStats {
+  std::size_t tasks = 0;
+  double total_s = 0;
+  double max_s = 0;
+  double median_s = 0;
+  double mean_s = 0;
+  double cv = 0;                 // population stddev / mean
+  std::vector<int> stragglers;   // sample indices > threshold * median
+};
+
+/// One of the heaviest reduce partitions of a job.
+struct HeavyPartition {
+  int partition = 0;
+  double sim_seconds = 0;
+  std::uint64_t shuffle_bytes_raw = 0;
+  double shuffle_share = 0;  // of the job's total raw shuffle bytes
+  std::uint64_t key_groups = 0;
+  std::uint64_t records = 0;
+  std::vector<std::uint64_t> tag_records;  // per source tag (CMF)
+};
+
+struct JobAnalysis {
+  std::string name;
+  int wave = 0;
+  bool map_only = false;
+  bool failed = false;
+
+  double sched_delay_s = 0;
+  double map_time_s = 0;
+  double reduce_time_s = 0;
+  double total_s = 0;
+  double slack_s = 0;            // wave elapsed - total
+  bool on_critical_path = false; // this job defines its wave's elapsed time
+  double critical_share = 0;     // total_s / critical_path_s
+
+  std::uint64_t target_reduce_tasks = 0;
+  PhaseSkewStats map;
+  PhaseSkewStats reduce;
+  std::vector<HeavyPartition> top_partitions;  // by raw shuffle bytes desc
+  std::vector<SpaceSaving::Entry> hot_keys;
+  std::uint64_t reduce_records = 0;  // total records entering reduce
+  std::vector<std::string> key_columns;
+};
+
+struct WaveAnalysis {
+  int wave = 0;
+  double elapsed_s = 0;
+  int critical_job = -1;  // index into AnalyzerReport::jobs
+  int job_count = 0;
+};
+
+struct AnalyzerReport {
+  std::vector<JobAnalysis> jobs;
+  std::vector<WaveAnalysis> waves;
+  double critical_path_s = 0;  // == QueryMetrics::wall_time_s
+  double serial_total_s = 0;   // sum of job totals
+  std::vector<std::string> diagnosis;
+
+  /// EXPLAIN ANALYZE-style indented report with the diagnosis section.
+  std::string text() const;
+  /// JSON object (schema: the "analyzer" section of
+  /// bench/bench_schema.json); deterministic key order.
+  void to_json(JsonWriter& w) const;
+  std::string json() const;
+};
+
+/// Analyze one query's samples. Jobs with wave -1 (standalone engine
+/// runs) are treated as serial: each forms its own wave in order.
+AnalyzerReport analyze_query(const QueryTaskSamples& query,
+                             const AnalyzerOptions& opts = {});
+
+}  // namespace ysmart::obs

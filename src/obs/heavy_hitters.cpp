@@ -1,0 +1,77 @@
+#include "obs/heavy_hitters.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ysmart::obs {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  check(capacity_ > 0, "SpaceSaving capacity must be positive");
+}
+
+void SpaceSaving::offer(const std::string& key, std::uint64_t weight) {
+  if (weight == 0) return;
+  total_ += weight;
+  for (auto& e : entries_) {
+    if (e.key == key) {
+      e.count += weight;
+      return;
+    }
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back(Entry{key, weight, 0});
+    return;
+  }
+  // Evict the minimum-count entry; ties go to the lexicographically
+  // smallest key so the sketch is deterministic.
+  Entry* victim = &entries_[0];
+  for (auto& e : entries_)
+    if (e.count < victim->count ||
+        (e.count == victim->count && e.key < victim->key))
+      victim = &e;
+  victim->error = victim->count;
+  victim->count += weight;
+  victim->key = key;
+}
+
+void SpaceSaving::merge(const SpaceSaving& other) {
+  // Offer the other sketch's entries largest-first (deterministic order)
+  // so its genuine heavy hitters survive eviction pressure; inherited
+  // eviction errors accumulate onto matching keys.
+  std::vector<Entry> theirs = other.top(other.entries_.size());
+  for (const Entry& e : theirs) {
+    offer(e.key, e.count);
+    if (e.error > 0)
+      for (auto& mine : entries_)
+        if (mine.key == e.key) {
+          mine.error += e.error;
+          break;
+        }
+  }
+  // offer() already added the counts to total_; counts may overestimate
+  // the other stream's weight, so correct to the exact total.
+  total_ -= std::min(total_, [&] {
+    std::uint64_t offered = 0;
+    for (const Entry& e : theirs) offered += e.count;
+    return offered;
+  }());
+  total_ += other.total_;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top(std::size_t k) const {
+  std::vector<Entry> out = entries_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+void SpaceSaving::clear() {
+  entries_.clear();
+  total_ = 0;
+}
+
+}  // namespace ysmart::obs

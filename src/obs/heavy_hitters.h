@@ -1,0 +1,66 @@
+// Space-Saving heavy-hitter sketch (Metwally, Agrawal, El Abbadi 2005).
+//
+// Tracks the approximately-heaviest keys of a weighted stream in bounded
+// memory: at most `capacity` counters. When a new key arrives with all
+// counters taken, the minimum counter is evicted and its count inherited
+// (recorded as the new entry's `error`), so every reported count is an
+// overestimate by at most `error` and a key with true weight above
+// total/capacity is guaranteed to be present.
+//
+// The engine builds one sketch per reduce partition (keys are processed
+// in shuffle-sort order) and merges them on the orchestrating thread in
+// fixed partition order, so the merged sketch — like every other
+// observability artifact — is deterministic for a fixed seed at any
+// thread-pool size. Determinism inside the sketch requires deterministic
+// tie-breaking: evictions pick the minimum-count entry with the
+// lexicographically smallest key, and top() orders by descending count,
+// then ascending key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ysmart::obs {
+
+class SpaceSaving {
+ public:
+  /// Counter budget used by the engine's per-partition reduce-key
+  /// sketches; generous for "a handful of hot keys" diagnoses while
+  /// keeping the per-partition cost trivial.
+  static constexpr std::size_t kDefaultCapacity = 16;
+
+  struct Entry {
+    std::string key;
+    std::uint64_t count = 0;  // estimated weight (overestimate)
+    std::uint64_t error = 0;  // count inherited from evictions
+  };
+
+  explicit SpaceSaving(std::size_t capacity = kDefaultCapacity);
+
+  /// Add `weight` occurrences of `key`.
+  void offer(const std::string& key, std::uint64_t weight = 1);
+
+  /// Fold `other` into this sketch: every entry of `other` is offered
+  /// with its count, and eviction errors add up. The result keeps the
+  /// Space-Saving guarantee for the concatenated stream.
+  void merge(const SpaceSaving& other);
+
+  /// The up-to-`k` heaviest entries, by descending count then ascending
+  /// key (deterministic).
+  std::vector<Entry> top(std::size_t k) const;
+
+  /// Total weight offered (exact, not estimated).
+  std::uint64_t total_weight() const { return total_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return entries_.empty(); }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<Entry> entries_;  // unordered; linear scans (capacity is small)
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ysmart::obs

@@ -48,6 +48,10 @@ class MetricsRegistry {
   struct Histogram {
     std::uint64_t count = 0;
     double sum = 0;
+    /// Smallest/largest value observed; both 0 while count == 0. The
+    /// first observation must set min even when it is larger than the
+    /// empty-state 0 (regression-tested in tests/test_obs.cpp) — observe()
+    /// therefore branches on count rather than folding min/max blindly.
     double min = 0;
     double max = 0;
     std::array<std::uint64_t, kBucketBounds.size() + 1> buckets{};

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "obs/metrics_registry.h"
+#include "obs/task_samples.h"
 #include "obs/trace.h"
 
 namespace ysmart::obs {
@@ -20,10 +21,12 @@ namespace ysmart::obs {
 struct ObsContext {
   Tracer tracer;
   MetricsRegistry metrics;
+  TaskSampleStore samples;
 
   void clear() {
     tracer.clear();
     metrics.clear();
+    samples.clear();
   }
 };
 

@@ -1,0 +1,57 @@
+#include "obs/task_samples.h"
+
+namespace ysmart::obs {
+
+void TaskSampleStore::begin_query() {
+  std::lock_guard<std::mutex> lock(mu_);
+  queries_.emplace_back();
+  current_wave_ = -1;
+}
+
+void TaskSampleStore::set_current_wave(int wave) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_wave_ = wave;
+}
+
+void TaskSampleStore::record_job(JobTaskSamples samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queries_.empty()) queries_.emplace_back();
+  samples.wave = current_wave_;
+  queries_.back().jobs.push_back(std::move(samples));
+}
+
+void TaskSampleStore::set_wall_time(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queries_.empty()) queries_.emplace_back();
+  queries_.back().wall_time_s = seconds;
+}
+
+std::size_t TaskSampleStore::query_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_.size();
+}
+
+std::size_t TaskSampleStore::total_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& q : queries_) n += q.jobs.size();
+  return n;
+}
+
+QueryTaskSamples TaskSampleStore::query(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_.at(index);
+}
+
+QueryTaskSamples TaskSampleStore::last_query() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_.empty() ? QueryTaskSamples{} : queries_.back();
+}
+
+void TaskSampleStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  queries_.clear();
+  current_wave_ = -1;
+}
+
+}  // namespace ysmart::obs

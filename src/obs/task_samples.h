@@ -1,0 +1,130 @@
+// Per-task telemetry samples retained during simulated job execution.
+//
+// The engine computes a MapTaskWork per map task and a ReduceTaskWork per
+// reduce partition, costs them, folds them into JobMetrics — and, without
+// this store, throws the per-task detail away. When an ObsContext is
+// attached, the engine additionally retains one TaskSample per task so
+// the analyzer (obs/analyzer.h) can reason about skew, stragglers and
+// hot keys after the fact.
+//
+// Conventions:
+//  * Samples are recorded by the engine's orchestrating thread in fixed
+//    task/partition order, so the store's contents are deterministic for
+//    a fixed seed at any thread-pool size (pinned by test_robustness).
+//  * Map-only jobs follow the metrics.h convention: their final output
+//    appears in the map samples and `reduce_tasks` stays empty.
+//  * Reduce samples exist per *simulated* partition (at most
+//    Engine::kMaxSimReducers); `target_reduce_tasks` records the real
+//    modeled task count the partition times were expanded to. The
+//    registry's reduce-task histogram is fed from these samples, one
+//    observation per modeled task (sample index = task % partitions), so
+//    registry and samples reconcile exactly.
+//  * `tag_records` is the per-source-tag record distribution of a CMF
+//    common job's reduce input — the per-merged-job view the paper's
+//    Fig. 9 discussion reasons about. Plain jobs have a single tag.
+//  * The observed query lifecycle groups into queries: Database::run
+//    begins a new group; standalone Engine::run calls land in an
+//    implicit group 0. The DAG executor stamps each job with its
+//    dependency-wave index (-1 when no executor was involved).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/heavy_hitters.h"
+
+namespace ysmart::obs {
+
+struct TaskSample {
+  int index = 0;  // map task index, or simulated reduce partition index
+
+  std::uint64_t input_records = 0;
+  std::uint64_t input_bytes = 0;  // map: block bytes; reduce: shuffle raw
+  std::uint64_t output_records = 0;
+  std::uint64_t output_bytes = 0;
+
+  // Reduce only: this partition's share of the map->reduce transfer.
+  std::uint64_t shuffle_bytes_raw = 0;
+  std::uint64_t shuffle_bytes_wire = 0;
+
+  /// Simulated seconds charged for the task, including every simulated
+  /// failure attempt (matches the value fed to the makespan and to the
+  /// registry histograms).
+  double sim_seconds = 0;
+  int attempts = 1;  // 1 = clean run; attempts-1 = retries
+
+  bool local_read = true;          // map only: block read from a local replica
+  std::uint64_t key_groups = 0;    // reduce only: distinct keys in partition
+  std::vector<std::uint64_t> tag_records;  // reduce only: records per source tag
+};
+
+struct JobTaskSamples {
+  std::string job_name;
+  int wave = -1;  // dependency-wave index; -1 = standalone engine run
+  bool map_only = false;
+  bool failed = false;
+
+  // Simulated phase times, identical to the JobMetrics fields.
+  double sched_delay_s = 0;
+  double map_time_s = 0;
+  double reduce_time_s = 0;
+
+  /// Real modeled reduce task count (JobMetrics::reduce.tasks); the
+  /// simulator executes reduce_tasks.size() partitions standing for it.
+  std::uint64_t target_reduce_tasks = 0;
+
+  /// Reduce key column names when the job's spec carries them (CMF fills
+  /// them from the partition-key expressions); used to render hot keys.
+  std::vector<std::string> key_columns;
+
+  std::vector<TaskSample> map_tasks;
+  std::vector<TaskSample> reduce_tasks;  // per simulated partition
+
+  /// Space-Saving sketch over reduce keys, weighted by records per key
+  /// group; per-partition sketches merged in partition order.
+  SpaceSaving hot_keys;
+
+  double total_time_s() const {
+    return sched_delay_s + map_time_s + reduce_time_s;
+  }
+};
+
+struct QueryTaskSamples {
+  std::vector<JobTaskSamples> jobs;
+  /// Modeled end-to-end elapsed time (QueryMetrics::wall_time_s), set by
+  /// the DAG executor; -1 for standalone engine runs.
+  double wall_time_s = -1;
+};
+
+/// Thread-safe container of sampled queries; owned by ObsContext.
+class TaskSampleStore {
+ public:
+  /// Start a new query group (Database::run). Resets the wave cursor.
+  void begin_query();
+
+  /// Stamp subsequent record_job() calls with dependency wave `wave`.
+  void set_current_wave(int wave);
+
+  /// Append one executed job's samples to the current query group (an
+  /// implicit group is created for standalone engine runs).
+  void record_job(JobTaskSamples samples);
+
+  /// Record the current query's modeled end-to-end time.
+  void set_wall_time(double seconds);
+
+  std::size_t query_count() const;
+  std::size_t total_jobs() const;
+  QueryTaskSamples query(std::size_t index) const;  // snapshot copy
+  QueryTaskSamples last_query() const;              // empty if none
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<QueryTaskSamples> queries_;
+  int current_wave_ = -1;
+};
+
+}  // namespace ysmart::obs

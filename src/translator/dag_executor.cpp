@@ -44,7 +44,11 @@ QueryRunResult run_translated(const TranslatedQuery& query, Engine& engine,
     check(!wave.empty(), "translated query has a dependency cycle");
 
     obs::ObsContext* obs = engine.obs();
-    obs::ScopedSpan wave_span(obs, strf("wave:%zu", wave_idx++), "wave");
+    obs::ScopedSpan wave_span(obs, strf("wave:%zu", wave_idx), "wave");
+    // Stamp this wave's jobs in the sample store: the analyzer regroups
+    // them by wave id to reproduce the wall_time_s fold below exactly.
+    if (obs) obs->samples.set_current_wave(static_cast<int>(wave_idx));
+    ++wave_idx;
     // Jobs in one wave run concurrently on the modeled timeline: every
     // job in it starts at the wave's simulated start, and the wave ends
     // when its slowest job does. The engine advances the tracer's sim
@@ -77,6 +81,8 @@ QueryRunResult run_translated(const TranslatedQuery& query, Engine& engine,
         rest.push_back(i);
     pending = std::move(rest);
   }
+  if (obs::ObsContext* obs = engine.obs())
+    obs->samples.set_wall_time(out.metrics.wall_time_s);
 
   // A failed job (DNF) aborts the query: jobs still pending are never
   // scheduled and its outputs — present in the DFS only so standalone

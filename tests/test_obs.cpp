@@ -367,6 +367,25 @@ TEST(Metrics, FailedQueryLeavesReasonNote) {
             std::string::npos);
 }
 
+TEST(Metrics, HistogramMinTracksFirstAndSmallestObservation) {
+  // Regression guard: the first observation must establish min (and max)
+  // even though an empty Histogram initializes both to 0 — a naive
+  // `min = std::min(min, v)` would keep min pinned at 0 forever.
+  obs::MetricsRegistry reg;
+  reg.observe("h", 5.0);
+  auto h = reg.histogram("h");
+  EXPECT_EQ(h.count, 1u);
+  EXPECT_DOUBLE_EQ(h.min, 5.0);
+  EXPECT_DOUBLE_EQ(h.max, 5.0);
+  reg.observe("h", 2.0);
+  reg.observe("h", 7.0);
+  h = reg.histogram("h");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.min, 2.0);
+  EXPECT_DOUBLE_EQ(h.max, 7.0);
+  EXPECT_DOUBLE_EQ(h.sum, 14.0);
+}
+
 TEST(Metrics, RegistrySnapshotIsDeterministicallyOrdered) {
   obs::MetricsRegistry reg;
   reg.add("z.last", 1);
@@ -375,6 +394,68 @@ TEST(Metrics, RegistrySnapshotIsDeterministicallyOrdered) {
   const std::string json = reg.json();
   EXPECT_TRUE(MiniJson(json).parse());
   EXPECT_LT(json.find("a.first"), json.find("z.last"));
+}
+
+// ---- task samples reconcile with the registry ----
+
+TEST(TaskSamples, SamplesReconcileWithRegistryHistograms) {
+  // The task-time histograms are fed from the retained samples, so the
+  // registry's count/sum must reconcile exactly (same values, same
+  // accumulation order) with what the sample store holds.
+  auto db = fresh_db();
+  obs::ObsContext obs;
+  db->set_observer(&obs);
+  auto run = db->run(queries::qcsa().sql, TranslatorProfile::ysmart());
+  ASSERT_FALSE(run.metrics.failed());
+
+  ASSERT_EQ(obs.samples.query_count(), 1u);
+  const obs::QueryTaskSamples q = obs.samples.last_query();
+  ASSERT_EQ(q.jobs.size(), static_cast<std::size_t>(run.metrics.job_count()));
+
+  std::uint64_t map_count = 0, reduce_count = 0;
+  double map_sum = 0, reduce_sum = 0;
+  for (const auto& j : q.jobs) {
+    for (const auto& s : j.map_tasks) {
+      ++map_count;
+      map_sum += s.sim_seconds;
+    }
+    if (j.map_only) {
+      EXPECT_TRUE(j.reduce_tasks.empty());
+      continue;
+    }
+    ASSERT_FALSE(j.reduce_tasks.empty());
+    // One histogram observation per modeled task, expanded from the
+    // simulated partitions exactly like the engine's makespan input.
+    for (std::uint64_t i = 0; i < j.target_reduce_tasks; ++i) {
+      ++reduce_count;
+      reduce_sum += j.reduce_tasks[i % j.reduce_tasks.size()].sim_seconds;
+    }
+  }
+  const auto map_h = obs.metrics.histogram("engine.map.task_sim_seconds");
+  EXPECT_EQ(map_h.count, map_count);
+  EXPECT_DOUBLE_EQ(map_h.sum, map_sum);
+  const auto red_h = obs.metrics.histogram("engine.reduce.task_sim_seconds");
+  EXPECT_EQ(red_h.count, reduce_count);
+  EXPECT_DOUBLE_EQ(red_h.sum, reduce_sum);
+
+  // Per-sample measurements also reconcile with the job totals.
+  for (std::size_t ji = 0; ji < q.jobs.size(); ++ji) {
+    const auto& js = q.jobs[ji];
+    const auto& jm = run.metrics.jobs[ji];
+    EXPECT_EQ(js.job_name, jm.job_name);
+    EXPECT_DOUBLE_EQ(js.map_time_s, jm.map_time_s);
+    EXPECT_DOUBLE_EQ(js.reduce_time_s, jm.reduce_time_s);
+    EXPECT_EQ(js.target_reduce_tasks, jm.reduce.tasks);
+    std::uint64_t in_rec = 0, in_bytes = 0, shuffle_raw = 0;
+    for (const auto& s : js.map_tasks) {
+      in_rec += s.input_records;
+      in_bytes += s.input_bytes;
+    }
+    for (const auto& s : js.reduce_tasks) shuffle_raw += s.shuffle_bytes_raw;
+    EXPECT_EQ(in_rec, jm.map.input_records);
+    EXPECT_EQ(in_bytes, jm.map.input_bytes);
+    EXPECT_EQ(shuffle_raw, jm.shuffle_bytes_raw);
+  }
 }
 
 // ---- null observer costs nothing and crashes nothing ----

@@ -13,6 +13,7 @@
 #include "data/clicks_gen.h"
 #include "data/queries.h"
 #include "mr/engine.h"
+#include "obs/analyzer.h"
 #include "obs/obs.h"
 #include "sql/parser.h"
 
@@ -286,6 +287,37 @@ TEST(PoolInvariance, ResultsAndSimulatedSecondsIdenticalAcrossPoolSizes) {
   EXPECT_TRUE(on.tracer.well_formed());
   EXPECT_EQ(o1.tracer.chrome_json(obs::TimeAxis::Simulated),
             on.tracer.chrome_json(obs::TimeAxis::Simulated));
+
+  // Task samples — recorded on the orchestrating thread in fixed task/
+  // partition order — are pool-size invariant too: every per-task
+  // measurement matches, and the analyzer (which consumes only samples)
+  // emits byte-identical JSON at pool size 1 and 8. Together with the
+  // metrics loop above this proves sampling is non-perturbing: the same
+  // simulated seconds with observation off (m1, mn) and on (m1o, mno).
+  ASSERT_EQ(o1.samples.query_count(), 1u);
+  ASSERT_EQ(on.samples.query_count(), 1u);
+  const obs::QueryTaskSamples s1 = o1.samples.last_query();
+  const obs::QueryTaskSamples sn = on.samples.last_query();
+  ASSERT_EQ(s1.jobs.size(), 1u);
+  ASSERT_EQ(sn.jobs.size(), 1u);
+  ASSERT_EQ(s1.jobs[0].map_tasks.size(), sn.jobs[0].map_tasks.size());
+  ASSERT_EQ(s1.jobs[0].reduce_tasks.size(), sn.jobs[0].reduce_tasks.size());
+  auto same_sample = [](const obs::TaskSample& a, const obs::TaskSample& b) {
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.input_records, b.input_records);
+    EXPECT_EQ(a.input_bytes, b.input_bytes);
+    EXPECT_EQ(a.output_records, b.output_records);
+    EXPECT_EQ(a.shuffle_bytes_raw, b.shuffle_bytes_raw);
+    EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.key_groups, b.key_groups);
+    EXPECT_EQ(a.tag_records, b.tag_records);
+  };
+  for (std::size_t i = 0; i < s1.jobs[0].map_tasks.size(); ++i)
+    same_sample(s1.jobs[0].map_tasks[i], sn.jobs[0].map_tasks[i]);
+  for (std::size_t i = 0; i < s1.jobs[0].reduce_tasks.size(); ++i)
+    same_sample(s1.jobs[0].reduce_tasks[i], sn.jobs[0].reduce_tasks[i]);
+  EXPECT_EQ(obs::analyze_query(s1).json(), obs::analyze_query(sn).json());
 }
 
 // ---- explain output is deterministic ----

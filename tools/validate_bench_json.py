@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Validate a bench --json report against bench/bench_schema.json.
+"""Validate a bench JSON document against a schema file.
 
-Standard library only (CI runs it without installing anything). Understands
-the subset of JSON Schema the schema file uses: type, required, properties,
-items, enum, minimum.
+Works for both bench document shapes: --json reports (records, schema
+bench/bench_schema.json) and --analyze analyses (analyses, schema
+bench/analyzer_schema.json). Standard library only (CI runs it without
+installing anything). Understands the subset of JSON Schema the schema
+files use: type, required, properties, items, enum, minimum.
 
 Usage: tools/validate_bench_json.py SCHEMA REPORT [REPORT...]
 """
@@ -65,15 +67,19 @@ def main(argv):
                 continue
         errors = []
         validate(report, schema, "$", errors)
-        if not report.get("records"):
-            errors.append("$.records: empty — the bench recorded nothing")
+        # The document's payload array (records or analyses, whichever the
+        # schema requires) must be non-empty: an empty one means the bench
+        # silently recorded nothing.
+        payload = "analyses" if "analyses" in schema.get("required", []) else "records"
+        if isinstance(report, dict) and not report.get(payload):
+            errors.append(f"$.{payload}: empty — the bench recorded nothing")
         if errors:
             status = 1
             for e in errors:
                 print(f"{report_path}: {e}", file=sys.stderr)
         else:
-            n = len(report["records"])
-            print(f"{report_path}: OK ({n} records)")
+            n = len(report[payload])
+            print(f"{report_path}: OK ({n} {payload})")
     return status
 
 
