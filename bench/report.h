@@ -15,19 +15,23 @@
 // (obs/analyzer.h) over each run's task samples, embeds the analysis in
 // each --json record under "analyzer", and writes a standalone analyses
 // document (schema: bench/analyzer_schema.json) with the rendered text
-// reports. Without flags the benches behave exactly as before: no
-// observer is attached and nothing is written.
+// reports. --progress (no value) prints live per-job completion lines on
+// stderr while runs execute; it only reads the progress tracker, so the
+// --json report is byte-identical with or without it (pinned by the CI
+// regression gate against BENCH_baseline.json). Without flags the
+// benches behave exactly as before: no observer is attached and nothing
+// is written.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "api/database.h"
+#include "common/io.h"
 #include "common/json.h"
 #include "mr/metrics.h"
 #include "obs/analyzer.h"
@@ -62,6 +66,23 @@ class Report {
       if (std::strcmp(argv[i], "--trace") == 0) trace_path_ = argv[i + 1];
       if (std::strcmp(argv[i], "--analyze") == 0) analyze_path_ = argv[i + 1];
     }
+    // --progress takes no value, so scan the full argv separately.
+    for (int i = 1; i < argc; ++i)
+      if (std::strcmp(argv[i], "--progress") == 0) progress_ = true;
+    if (progress_)
+      obs_.progress.set_callback([this](const obs::ProgressSnapshot& s) {
+        // Print one line per completed job (and the final query line);
+        // task-level updates would flood the terminal. jobs_done and
+        // tasks_done only grow within a query, so the output is
+        // monotonic by construction.
+        if (s.jobs_done == last_jobs_printed_ && s.active) return;
+        last_jobs_printed_ = s.active ? s.jobs_done : 0;
+        std::fprintf(stderr,
+                     "progress: [%s] wave %d  jobs %zu/%zu  tasks %zu/%zu%s\n",
+                     s.profile.c_str(), s.current_wave, s.jobs_done,
+                     s.total_jobs, s.tasks_done(), s.tasks_total(),
+                     s.active ? "" : "  done");
+      });
   }
 
   Report(const Report&) = delete;
@@ -71,10 +92,11 @@ class Report {
 
   bool tracing() const { return !trace_path_.empty(); }
   bool analyzing() const { return !analyze_path_.empty(); }
-  /// The observability context runs attach, or null when neither tracing
-  /// nor analyzing.
+  bool progress() const { return progress_; }
+  /// The observability context runs attach, or null when neither tracing,
+  /// analyzing nor printing progress.
   obs::ObsContext* obs() {
-    return tracing() || analyzing() ? &obs_ : nullptr;
+    return tracing() || analyzing() || progress_ ? &obs_ : nullptr;
   }
 
   void record(const std::string& query, const std::string& profile,
@@ -208,19 +230,15 @@ class Report {
   };
 
   static bool write_file(const std::string& path, const std::string& body) {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) {
-      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-      return false;
-    }
-    out << body << '\n';
-    return out.good();
+    return write_text_file(path, body);
   }
 
   std::string bench_;
   std::string json_path_;
   std::string trace_path_;
   std::string analyze_path_;
+  bool progress_ = false;
+  std::size_t last_jobs_printed_ = 0;
   std::vector<Record> records_;
   obs::ObsContext obs_;
 };

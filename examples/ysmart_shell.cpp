@@ -12,17 +12,25 @@
 //   ysmart> \counters                   (session metrics registry as JSON)
 //   ysmart> \analyze SELECT ... ;       (run + query-doctor skew report)
 //   ysmart> \analyze                    (re-print analysis of last sampled run)
+//   ysmart> \history [k]               (flight recorder: last k queries)
+//   ysmart> \last [i]                   (re-print the i-th last analyze tree)
+//   ysmart> \top                        (progress/ETA state of the last run)
+//   ysmart> \serve 9090                 (Prometheus /metrics on 127.0.0.1)
+//   ysmart> \serve /tmp/metrics.prom    (render the exposition to a file)
 //   ysmart> \load mytable /path/data.csv   (schema inferred)
 //   ysmart> \save /path/out.csv SELECT ... ;
 //   ysmart> \tables
 //   ysmart> \quit
 //
 // Environment: YSMART_TRACE=<file> / YSMART_METRICS=<file> record the
-// whole session and write a Chrome trace / metrics-registry JSON on exit.
+// whole session and write a Chrome trace / metrics-registry JSON on exit;
+// YSMART_EVENTS=<file> streams the structured event journal (JSONL) as it
+// happens; YSMART_PROM_PORT=<port> serves /metrics, /healthz and
+// /history.json from startup; YSMART_HISTORY=<n> resizes the flight
+// recorder's retention ring (default 32).
 //
 // Also reads one-shot queries from the command line:
 //   $ ./build/examples/ysmart_shell "SELECT count(*) AS n FROM lineitem"
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -30,11 +38,14 @@
 #include "api/database.h"
 #include "common/env.h"
 #include "common/error.h"
+#include "common/http_listener.h"
+#include "common/io.h"
 #include "common/strings.h"
 #include "data/clicks_gen.h"
 #include "data/tpch_gen.h"
 #include "obs/analyzer.h"
 #include "obs/obs.h"
+#include "obs/prom_export.h"
 #include "storage/csv.h"
 
 namespace {
@@ -57,14 +68,24 @@ struct ShellObs {
   QueryMetrics last_metrics;  // most recent run, used by \dot annotation
 };
 
-void write_text_file(const std::string& path, const std::string& body) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    std::cout << "cannot write " << path << "\n";
-    return;
-  }
-  out << body << '\n';
-  std::cout << "wrote " << path << "\n";
+// write_text_file reports failures itself (stderr, with the path); the
+// shell only announces success.
+void write_and_report(const std::string& path, const std::string& body) {
+  if (write_text_file(path, body)) std::cout << "wrote " << path << "\n";
+}
+
+/// The exposition endpoints, shared by \serve <port> and the
+/// YSMART_PROM_PORT listener. Reads only internally-locked obs state, so
+/// serving from the listener thread is safe mid-session.
+HttpResponse serve_obs(const obs::ObsContext& ctx, const std::string& path) {
+  if (path == "/metrics")
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            obs::render_prometheus(ctx)};
+  if (path == "/healthz") return {200, "text/plain; charset=utf-8", "ok\n"};
+  if (path == "/history.json")
+    return {200, "application/json; charset=utf-8", ctx.history.json()};
+  return {404, "text/plain; charset=utf-8",
+          "try /metrics, /healthz or /history.json\n"};
 }
 
 void run_sql(Database& db, const TranslatorProfile& profile,
@@ -129,15 +150,39 @@ int main(int argc, char** argv) {
   ShellObs sobs;
   const auto trace_env = env_nonempty("YSMART_TRACE");
   const auto metrics_env = env_nonempty("YSMART_METRICS");
-  if (trace_env || metrics_env) {
+  const auto events_env = env_nonempty("YSMART_EVENTS");
+  const auto prom_port_env = env_positive_int("YSMART_PROM_PORT");
+  if (const auto cap = env_positive_int("YSMART_HISTORY"))
+    sobs.ctx.history.set_capacity(static_cast<std::size_t>(*cap));
+  const bool env_obs =
+      trace_env || metrics_env || events_env || prom_port_env;
+  if (env_obs) {
     sobs.session_trace = trace_env.has_value();
+    if (events_env) sobs.ctx.events.open_sink(*events_env);
     db.set_observer(&sobs.ctx);
+  }
+  HttpListener listener;
+  if (prom_port_env) {
+    std::string err;
+    if (listener.start(*prom_port_env,
+                       [&sobs](const std::string& p) {
+                         return serve_obs(sobs.ctx, p);
+                       },
+                       &err))
+      std::cerr << "serving http://127.0.0.1:" << listener.port()
+                << "/metrics\n";
+    else
+      std::cerr << "warning: YSMART_PROM_PORT: " << err << "\n";
   }
   auto write_env_outputs = [&] {
     if (trace_env)
-      write_text_file(*trace_env,
-                      sobs.ctx.tracer.chrome_json(obs::TimeAxis::Both));
-    if (metrics_env) write_text_file(*metrics_env, sobs.ctx.metrics.json());
+      write_and_report(*trace_env,
+                       sobs.ctx.tracer.chrome_json(obs::TimeAxis::Both));
+    if (metrics_env) write_and_report(*metrics_env, sobs.ctx.metrics.json());
+    if (events_env && sobs.ctx.events.sink_open()) {
+      sobs.ctx.events.close_sink();
+      std::cout << "wrote " << *events_env << "\n";
+    }
   };
 
   if (argc > 1) {
@@ -150,7 +195,8 @@ int main(int argc, char** argv) {
   for (const auto& t : db.catalog().table_names()) std::cout << t << " ";
   std::cout << "\ncommands: \\explain <sql>  \\analyze [sql]  \\profile "
                "<ysmart|hive|pig|mrshare|hand|on|off>  \\trace <file>  "
-               "\\counters  \\tables  \\quit\n";
+               "\\counters  \\history [k]  \\last [i]  \\top  "
+               "\\serve <port|file>  \\tables  \\quit\n";
 
   std::string line;
   while (std::cout << "ysmart> " << std::flush, std::getline(std::cin, line)) {
@@ -179,7 +225,7 @@ int main(int argc, char** argv) {
           sobs.profiling = name == "on";
           if (sobs.profiling)
             db.set_observer(&sobs.ctx);
-          else if (!trace_env && !metrics_env)
+          else if (!env_obs && !listener.running())
             db.set_observer(nullptr);
           std::cout << "profiling: " << name << "\n";
         } else {
@@ -196,8 +242,8 @@ int main(int argc, char** argv) {
         } else if (!db.observer()) {
           std::cout << "nothing traced yet - \\profile on first\n";
         } else {
-          write_text_file(path,
-                          sobs.ctx.tracer.chrome_json(obs::TimeAxis::Both));
+          write_and_report(path,
+                           sobs.ctx.tracer.chrome_json(obs::TimeAxis::Both));
         }
         continue;
       }
@@ -206,6 +252,63 @@ int main(int argc, char** argv) {
           std::cout << "no counters - \\profile on first\n";
         } else {
           std::cout << sobs.ctx.metrics.json() << "\n";
+        }
+        continue;
+      }
+      if (cmd == "history") {
+        std::size_t k = 0;
+        iss >> k;
+        if (sobs.ctx.history.size() == 0)
+          std::cout << "no queries recorded yet - \\profile on and run "
+                       "a query\n";
+        else
+          std::cout << sobs.ctx.history.table(k);
+        continue;
+      }
+      if (cmd == "last") {
+        std::size_t i = 0;
+        iss >> i;
+        obs::QueryHistoryRecord rec;
+        if (!sobs.ctx.history.at(i, &rec)) {
+          std::cout << "no such history entry (have "
+                    << sobs.ctx.history.size() << ")\n";
+        } else {
+          std::cout << strf("#%llu [%s] %s\n",
+                            static_cast<unsigned long long>(rec.id),
+                            rec.profile.c_str(), rec.sql.c_str());
+          std::cout << rec.analyzer_text;
+        }
+        continue;
+      }
+      if (cmd == "top") {
+        std::cout << sobs.ctx.progress.snapshot().render();
+        continue;
+      }
+      if (cmd == "serve") {
+        std::string arg;
+        iss >> arg;
+        if (arg.empty()) {
+          std::cout << "usage: \\serve <port>  (HTTP on 127.0.0.1) or "
+                       "\\serve <file>  (write exposition once)\n";
+        } else if (const auto port = parse_positive_int(arg)) {
+          if (!db.observer()) db.set_observer(&sobs.ctx);
+          std::string err;
+          if (listener.running())
+            std::cout << "already serving on port " << listener.port() << "\n";
+          else if (listener.start(*port,
+                                  [&sobs](const std::string& p) {
+                                    return serve_obs(sobs.ctx, p);
+                                  },
+                                  &err))
+            std::cout << "serving http://127.0.0.1:" << listener.port()
+                      << "/metrics\n";
+          else
+            std::cout << "cannot serve: " << err << "\n";
+        } else {
+          // Non-numeric argument: render the exposition to a file via the
+          // same pure renderer the endpoint uses (CI runs this socket-free).
+          if (!db.observer()) db.set_observer(&sobs.ctx);
+          write_and_report(arg, obs::render_prometheus(sobs.ctx));
         }
         continue;
       }

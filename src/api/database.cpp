@@ -1,7 +1,10 @@
 #include "api/database.h"
 
+#include <chrono>
+
 #include "common/error.h"
 #include "common/strings.h"
+#include "obs/analyzer.h"
 #include "obs/obs.h"
 #include "plan/builder.h"
 #include "plan/printer.h"
@@ -43,6 +46,11 @@ TranslatedQuery Database::translate_query(const std::string& sql,
       "/scratch/" + profile.name + "/run" + std::to_string(run_counter_++);
   TranslatedQuery q = translate(p, profile, scratch, &stats_, obs_);
   translate_span.arg("jobs", static_cast<std::uint64_t>(q.jobs.size()));
+  if (obs_)
+    obs_->events.emit(obs::EventLevel::Info, obs::EventCategory::Translate,
+                      "translated", obs_->tracer.sim_now(),
+                      {{"profile", std::string_view(profile.name)},
+                       {"jobs", static_cast<std::uint64_t>(q.jobs.size())}});
   return q;
 }
 
@@ -64,8 +72,21 @@ QueryRunResult Database::run(const std::string& sql,
                              const TranslatorProfile& profile) {
   obs::ScopedSpan query_span(obs_, "query:" + profile.name, "query");
   const double sim0 = obs_ ? obs_->tracer.sim_now() : 0.0;
-  if (obs_) obs_->samples.begin_query();
+  // Host wall clock is measured only when an observer is attached and
+  // lands exclusively in the history record's segregated wall field.
+  std::chrono::steady_clock::time_point host0;
+  if (obs_) {
+    host0 = std::chrono::steady_clock::now();
+    obs_->samples.begin_query();
+  }
   TranslatedQuery q = translate_query(sql, profile);
+  if (obs_) {
+    obs_->events.emit(obs::EventLevel::Info, obs::EventCategory::Translate,
+                      "query-start", sim0,
+                      {{"profile", std::string_view(profile.name)},
+                       {"jobs", static_cast<std::uint64_t>(q.jobs.size())}});
+    obs_->progress.begin_query(sql, profile.name, q.jobs.size());
+  }
   QueryRunResult r = run_translated(q, *engine_, profile);
   if (obs_) {
     // wall_time_s is the modeled end-to-end elapsed time (waves overlap
@@ -75,6 +96,36 @@ QueryRunResult Database::run(const std::string& sql,
     query_span.arg("jobs", static_cast<std::uint64_t>(r.metrics.jobs.size()));
     query_span.arg("sim_total_s", r.metrics.total_time_s());
     if (r.metrics.failed()) query_span.arg("failed", std::string_view("true"));
+    obs_->events.emit(
+        r.metrics.failed() ? obs::EventLevel::Error : obs::EventLevel::Info,
+        obs::EventCategory::Schedule, "query-done",
+        sim0 + r.metrics.wall_time_s,
+        {{"profile", std::string_view(profile.name)},
+         {"jobs", static_cast<std::uint64_t>(r.metrics.jobs.size())},
+         {"sim_wall_s", r.metrics.wall_time_s},
+         {"failed", r.metrics.failed() ? 1 : 0}});
+    obs_->progress.end_query(r.metrics.failed(), r.metrics.wall_time_s);
+
+    // Flight recorder: one record per completed query, built entirely
+    // from already-computed values after execution finishes.
+    const obs::QueryTaskSamples qs = obs_->samples.last_query();
+    const obs::AnalyzerReport report = obs::analyze_query(qs);
+    obs::QueryHistoryRecord rec;
+    rec.sql = sql;
+    rec.profile = profile.name;
+    rec.jobs = static_cast<int>(r.metrics.jobs.size());
+    rec.waves = static_cast<int>(report.waves.size());
+    rec.sim_total_s = r.metrics.total_time_s();
+    rec.sim_wall_s = r.metrics.wall_time_s;
+    rec.host_wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - host0)
+            .count();
+    rec.failed = r.metrics.failed();
+    rec.fail_reason = r.metrics.fail_reason();
+    rec.digest = report.diagnosis.empty() ? "ok" : report.diagnosis.front();
+    rec.analyzer_text = report.text();
+    obs_->history.add(std::move(rec));
   }
   return r;
 }

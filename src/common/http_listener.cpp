@@ -1,0 +1,145 @@
+#include "common/http_listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace ysmart {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpListener::~HttpListener() { stop(); }
+
+bool HttpListener::start(int port, Handler handler, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (running_.load()) return fail("listener already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail(strf("socket: %s", std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    return fail(strf("bind 127.0.0.1:%d: %s", port, std::strerror(errno)));
+  if (::listen(listen_fd_, 8) < 0)
+    return fail(strf("listen: %s", std::strerror(errno)));
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+  else
+    port_ = port;
+
+  handler_ = std::move(handler);
+  running_.store(true);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void HttpListener::serve_loop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;  // transient accept error
+    }
+    // Read the request head (we only need the request line; cap the read
+    // so a misbehaving client cannot grow the buffer unboundedly).
+    std::string req;
+    char buf[2048];
+    while (req.size() < 16 * 1024 &&
+           req.find("\r\n\r\n") == std::string::npos &&
+           req.find("\n\n") == std::string::npos) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      req.append(buf, static_cast<std::size_t>(n));
+    }
+
+    HttpResponse resp;
+    const std::size_t eol = req.find_first_of("\r\n");
+    const std::string line = req.substr(0, eol == std::string::npos ? 0 : eol);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      resp.status = 405;
+      resp.body = "malformed request\n";
+    } else if (line.substr(0, sp1) != "GET") {
+      resp.status = 405;
+      resp.body = "only GET is served here\n";
+    } else {
+      std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      if (const std::size_t q = path.find('?'); q != std::string::npos)
+        path.resize(q);
+      resp = handler_ ? handler_(path)
+                      : HttpResponse{404, "text/plain; charset=utf-8",
+                                     "no handler\n"};
+    }
+
+    std::string head =
+        strf("HTTP/1.0 %d %s\r\nContent-Type: %s\r\n"
+             "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+             resp.status, status_text(resp.status), resp.content_type.c_str(),
+             resp.body.size());
+    send_all(fd, head + resp.body);
+    ::close(fd);
+  }
+}
+
+void HttpListener::stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Unblock accept() by shutting the listening socket down, then join.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+}  // namespace ysmart

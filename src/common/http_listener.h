@@ -1,0 +1,67 @@
+// Minimal single-threaded HTTP/1.0 listener for the observability
+// exposition endpoints (GET /metrics, /healthz, /history.json).
+//
+// Deliberately tiny: one background thread accepts loopback connections
+// and serves them serially — GET only, no keep-alive, no TLS, request
+// line parsed and headers ignored. That is all a Prometheus scraper or
+// `curl` needs, and keeping it primitive bounds the attack/bug surface
+// of what is after all an in-process debug port. The handler runs on the
+// listener thread while the main thread executes queries, so handlers
+// must only read thread-safe state (every obs surface locks internally)
+// and must never touch the engine.
+//
+// All response bodies are produced by pure renderers (obs/prom_export.h,
+// QueryHistoryStore::json), so everything served here is unit-testable
+// without sockets; the socket tests in tests/test_obs_service.cpp only
+// prove the plumbing.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace ysmart {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpListener {
+ public:
+  /// Maps a request path ("/metrics") to a response. Runs on the
+  /// listener thread; must only touch thread-safe state.
+  using Handler = std::function<HttpResponse(const std::string& path)>;
+
+  HttpListener() = default;
+  ~HttpListener();
+
+  HttpListener(const HttpListener&) = delete;
+  HttpListener& operator=(const HttpListener&) = delete;
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral) and start serving on a
+  /// background thread. Returns false with a message in `*error` (when
+  /// non-null) if the socket could not be set up or already running.
+  bool start(int port, Handler handler, std::string* error = nullptr);
+
+  /// Stop accepting, close the socket and join the thread. Safe to call
+  /// when not running.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  /// The bound port (useful with port 0); 0 when not running.
+  int port() const { return port_; }
+
+ private:
+  void serve_loop();
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  Handler handler_;
+  std::thread thread_;
+};
+
+}  // namespace ysmart

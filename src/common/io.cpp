@@ -1,0 +1,23 @@
+#include "common/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace ysmart {
+
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << body << '\n';
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "error: write to %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ysmart

@@ -12,6 +12,21 @@ namespace ysmart {
 
 namespace {
 
+/// Stragglers so far, by the analyzer's rule: tasks above twice the
+/// lower median, in phases with at least two tasks. Computed on the
+/// orchestrating thread at phase end for the progress tracker.
+int count_stragglers(const std::vector<double>& times) {
+  if (times.size() < 2) return 0;
+  std::vector<double> sorted = times;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[(sorted.size() - 1) / 2];
+  if (median <= 0) return 0;
+  int n = 0;
+  for (double t : times)
+    if (t > 2.0 * median) ++n;
+  return n;
+}
+
 /// One map task = one block of one input file.
 struct MapTaskDef {
   const DfsFile* file = nullptr;
@@ -319,6 +334,21 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     js.target_reduce_tasks = m.reduce.tasks;
     js.key_columns = spec.key_column_names;
     obs_->samples.record_job(std::move(js));
+
+    if (m.failed)
+      obs_->events.emit(obs::EventLevel::Error, obs::EventCategory::Fault,
+                        "job-failed", sim0 + m.total_time_s(),
+                        {{"job", m.job_name},
+                         {"reason", std::string_view(m.fail_reason)},
+                         {"sim_total_s", m.total_time_s()}});
+    else
+      obs_->events.emit(obs::EventLevel::Info, obs::EventCategory::PostJob,
+                        "job-done", sim0 + m.total_time_s(),
+                        {{"job", m.job_name},
+                         {"retries", retries},
+                         {"dfs_write_bytes", m.dfs_write_bytes},
+                         {"sim_total_s", m.total_time_s()}});
+    obs_->progress.job_done(m.failed, m.total_time_s());
   };
 
   // ---- contention: scheduling delay and reduced slot availability ----
@@ -373,6 +403,10 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
   const double reducer_scale =
       static_cast<double>(num_reducers) / static_cast<double>(target_reducers);
 
+  if (obs_)
+    obs_->progress.begin_job(spec.name, map_only, tasks.size(),
+                             static_cast<std::size_t>(num_reducers));
+
   // ---- execute map tasks on the shared thread pool ----
   std::vector<MapTaskResult> results(tasks.size());
   int map_span_id = -1;
@@ -422,6 +456,18 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
       s.attempts = plan.attempts;
       s.local_read = r.work.local_read;
       js.map_tasks.push_back(std::move(s));
+      obs_->progress.task_done(/*reduce_phase=*/false, map_task_times.back());
+      // Fault-injection retries used to vanish into a counter; journal
+      // every retried/exhausted task individually.
+      if (plan.attempts > 1)
+        obs_->events.emit(
+            plan.exhausted ? obs::EventLevel::Error : obs::EventLevel::Warn,
+            obs::EventCategory::Fault,
+            plan.exhausted ? "task-exhausted" : "task-retry",
+            sim0 + m.sched_delay_s,
+            {{"job", spec.name}, {"phase", "map"},
+             {"task", static_cast<std::uint64_t>(i)},
+             {"attempts", plan.attempts}});
     }
     if (plan.exhausted && !m.failed) {
       m.failed = true;
@@ -442,6 +488,14 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     // map_task_times) so registry and samples reconcile exactly.
     for (const auto& s : js.map_tasks)
       obs_->metrics.observe("engine.map.task_sim_seconds", s.sim_seconds);
+    obs_->progress.phase_done(/*reduce_phase=*/false,
+                              count_stragglers(map_task_times));
+    obs_->events.emit(obs::EventLevel::Info, obs::EventCategory::Map,
+                      "map-phase-done", sim0 + m.sched_delay_s + m.map_time_s,
+                      {{"job", spec.name}, {"tasks", m.map.tasks},
+                       {"input_bytes", m.map.input_bytes},
+                       {"output_bytes", m.map.output_bytes},
+                       {"makespan_s", m.map_time_s}});
   }
 
   // Intermediate-disk capacity check (how Pig's Q-CSA run died: the
@@ -547,6 +601,18 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
       // Per-partition sketches fold in fixed partition order, keeping the
       // merged sketch deterministic at any pool size.
       js.hot_keys.merge(pr.hot_keys);
+      obs_->progress.task_done(/*reduce_phase=*/true, pr.task_seconds);
+      if (plans[static_cast<std::size_t>(p)].attempts > 1) {
+        const bool exhausted = plans[static_cast<std::size_t>(p)].exhausted;
+        obs_->events.emit(
+            exhausted ? obs::EventLevel::Error : obs::EventLevel::Warn,
+            obs::EventCategory::Fault,
+            exhausted ? "task-exhausted" : "task-retry",
+            sim0 + m.sched_delay_s + m.map_time_s,
+            {{"job", spec.name}, {"phase", "reduce"},
+             {"task", static_cast<std::uint64_t>(p)},
+             {"attempts", plans[static_cast<std::size_t>(p)].attempts}});
+      }
     }
     if (plans[static_cast<std::size_t>(p)].exhausted && !m.failed) {
       m.failed = true;
@@ -586,6 +652,24 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
           "engine.reduce.task_sim_seconds",
           js.reduce_tasks[static_cast<std::size_t>(i % num_reducers)]
               .sim_seconds);
+    obs_->events.emit(obs::EventLevel::Info, obs::EventCategory::Shuffle,
+                      "shuffle-done", sim0 + m.sched_delay_s + m.map_time_s,
+                      {{"job", spec.name},
+                       {"bytes_raw", m.shuffle_bytes_raw},
+                       {"bytes_wire", m.shuffle_bytes_wire}});
+    // Straggler detection runs over the simulated (pre-expansion)
+    // partition times — expansion only repeats them.
+    std::vector<double> part_times;
+    part_times.reserve(js.reduce_tasks.size());
+    for (const auto& s : js.reduce_tasks) part_times.push_back(s.sim_seconds);
+    obs_->progress.phase_done(/*reduce_phase=*/true,
+                              count_stragglers(part_times));
+    obs_->events.emit(obs::EventLevel::Info, obs::EventCategory::Reduce,
+                      "reduce-phase-done",
+                      sim0 + m.sched_delay_s + m.map_time_s + m.reduce_time_s,
+                      {{"job", spec.name}, {"tasks", m.reduce.tasks},
+                       {"input_records", m.reduce.input_records},
+                       {"makespan_s", m.reduce_time_s}});
   }
 
   // ---- write outputs: concatenate partition tables in partition order ----

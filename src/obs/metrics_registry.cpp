@@ -18,6 +18,7 @@ void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
 
 void MetricsRegistry::set_max(std::string_view name, std::uint64_t value) {
   std::lock_guard<std::mutex> lock(mu_);
+  gauge_names_.emplace(name);
   auto it = counters_.find(name);
   if (it == counters_.end())
     counters_.emplace(std::string(name), value);
@@ -27,6 +28,7 @@ void MetricsRegistry::set_max(std::string_view name, std::uint64_t value) {
 
 void MetricsRegistry::set(std::string_view name, std::uint64_t value) {
   std::lock_guard<std::mutex> lock(mu_);
+  gauge_names_.emplace(name);
   auto it = counters_.find(name);
   if (it == counters_.end())
     counters_.emplace(std::string(name), value);
@@ -69,6 +71,20 @@ std::string MetricsRegistry::note_of(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = notes_.find(name);
   return it == notes_.end() ? std::string() : it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [k, v] : counters_) {
+    if (gauge_names_.count(k))
+      snap.gauges.emplace(k, v);
+    else
+      snap.counters.emplace(k, v);
+  }
+  for (const auto& [k, h] : hists_) snap.histograms.emplace(k, h);
+  for (const auto& [k, v] : notes_) snap.notes.emplace(k, v);
+  return snap;
 }
 
 MetricsRegistry::Histogram MetricsRegistry::histogram(
@@ -129,6 +145,7 @@ std::string MetricsRegistry::summary_line() const {
 void MetricsRegistry::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
+  gauge_names_.clear();
   hists_.clear();
   notes_.clear();
 }

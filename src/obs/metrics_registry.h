@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 
@@ -70,6 +71,18 @@ class MetricsRegistry {
 
   /// Counter value; 0 when the counter was never touched.
   std::uint64_t counter(std::string_view name) const;
+
+  /// Full deterministic snapshot for exporters (the Prometheus renderer).
+  /// `gauges` holds every name last written through set()/set_max();
+  /// `counters` holds the names only ever touched by add(). The split is
+  /// what lets the exposition declare the correct metric TYPE.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::uint64_t> gauges;
+    std::map<std::string, Histogram> histograms;
+    std::map<std::string, std::string> notes;
+  };
+  Snapshot snapshot() const;
   /// Note text; empty when absent.
   std::string note_of(std::string_view name) const;
   Histogram histogram(std::string_view name) const;
@@ -87,6 +100,9 @@ class MetricsRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::uint64_t, std::less<>> counters_;
+  /// Names written through set()/set_max(); everything else in counters_
+  /// is a monotonic counter.
+  std::set<std::string, std::less<>> gauge_names_;
   std::map<std::string, Histogram, std::less<>> hists_;
   std::map<std::string, std::string, std::less<>> notes_;
 };

@@ -1,18 +1,30 @@
 // ObsContext: the observability subsystem's front door.
 //
-// One ObsContext = one tracer + one metrics registry, attached (non-
-// owning) to a Database/Engine via set_observer()/set_obs(). Everything
-// is off by default: an unattached engine carries a null pointer and
-// every instrumentation site reduces to a branch on it, so the disabled
-// path costs nothing and simulated metrics are bit-identical with
-// observability on or off (tests/test_obs.cpp pins this down).
+// One ObsContext bundles every observability surface, attached (non-
+// owning) to a Database/Engine via set_observer()/set_obs():
+//
+//   tracer    per-query span tree (Chrome trace / EXPLAIN ANALYZE)
+//   metrics   session counters, gauges and histograms
+//   samples   per-task telemetry for the query-doctor analyzer
+//   events    structured event journal (leveled, categorized JSONL)
+//   progress  live per-wave/per-job task-completion state (\top, --progress)
+//   history   cross-query flight recorder (last N completed queries)
+//
+// Everything is off by default: an unattached engine carries a null
+// pointer and every instrumentation site reduces to a branch on it, so
+// the disabled path costs nothing and simulated metrics are
+// bit-identical with observability on or off (tests/test_obs.cpp and
+// tests/test_robustness.cpp pin this down for every surface).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <utility>
 
+#include "obs/event_log.h"
+#include "obs/history.h"
 #include "obs/metrics_registry.h"
+#include "obs/progress.h"
 #include "obs/task_samples.h"
 #include "obs/trace.h"
 
@@ -22,11 +34,17 @@ struct ObsContext {
   Tracer tracer;
   MetricsRegistry metrics;
   TaskSampleStore samples;
+  EventLog events;
+  ProgressTracker progress;
+  QueryHistoryStore history;
 
   void clear() {
     tracer.clear();
     metrics.clear();
     samples.clear();
+    events.clear();
+    progress.clear();
+    history.clear();
   }
 };
 

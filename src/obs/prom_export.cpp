@@ -1,0 +1,105 @@
+#include "obs/prom_export.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "obs/obs.h"
+
+namespace ysmart::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  std::string s = strf("%.17g", v);
+  return s;
+}
+
+void emit_counter(std::string& out, const std::string& name,
+                  std::string_view help, std::uint64_t value) {
+  out += strf("# HELP %s %.*s\n", name.c_str(),
+              static_cast<int>(help.size()), help.data());
+  out += strf("# TYPE %s counter\n", name.c_str());
+  out += strf("%s %llu\n", name.c_str(),
+              static_cast<unsigned long long>(value));
+}
+
+void emit_gauge(std::string& out, const std::string& name,
+                std::string_view help, std::uint64_t value) {
+  out += strf("# HELP %s %.*s\n", name.c_str(),
+              static_cast<int>(help.size()), help.data());
+  out += strf("# TYPE %s gauge\n", name.c_str());
+  out += strf("%s %llu\n", name.c_str(),
+              static_cast<unsigned long long>(value));
+}
+
+void emit_histogram(std::string& out, const std::string& name,
+                    std::string_view help,
+                    const MetricsRegistry::Histogram& h) {
+  out += strf("# HELP %s %.*s\n", name.c_str(),
+              static_cast<int>(help.size()), help.data());
+  out += strf("# TYPE %s histogram\n", name.c_str());
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < MetricsRegistry::kBucketBounds.size(); ++b) {
+    cumulative += h.buckets[b];
+    out += strf("%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+                fmt_double(MetricsRegistry::kBucketBounds[b]).c_str(),
+                static_cast<unsigned long long>(cumulative));
+  }
+  cumulative += h.buckets[MetricsRegistry::kBucketBounds.size()];
+  out += strf("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+              static_cast<unsigned long long>(cumulative));
+  out += strf("%s_sum %s\n", name.c_str(), fmt_double(h.sum).c_str());
+  out += strf("%s_count %llu\n", name.c_str(),
+              static_cast<unsigned long long>(h.count));
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view dotted) {
+  std::string out = "ysmart_";
+  for (char c : dotted)
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '_')
+               ? c
+               : '_';
+  return out;
+}
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  std::string out;
+  for (const auto& [dotted, value] : snap.counters)
+    emit_counter(out, prometheus_name(dotted) + "_total", dotted, value);
+  for (const auto& [dotted, value] : snap.gauges)
+    emit_gauge(out, prometheus_name(dotted), dotted, value);
+  for (const auto& [dotted, h] : snap.histograms)
+    emit_histogram(out, prometheus_name(dotted), dotted, h);
+  return out;
+}
+
+std::string render_prometheus(const ObsContext& obs) {
+  std::string out = render_prometheus(obs.metrics);
+  emit_counter(out, "ysmart_events_emitted_total",
+               "events appended to the journal", obs.events.total_emitted());
+  emit_counter(out, "ysmart_events_dropped_total",
+               "journal events evicted by ring retention",
+               obs.events.dropped());
+  emit_gauge(out, "ysmart_events_buffered",
+             "events currently retained in the journal ring",
+             static_cast<std::uint64_t>(obs.events.size()));
+  emit_counter(out, "ysmart_history_recorded_total",
+               "completed queries recorded in the flight recorder",
+               obs.history.total_recorded());
+  emit_gauge(out, "ysmart_history_retained",
+             "queries currently retained in the flight recorder",
+             static_cast<std::uint64_t>(obs.history.size()));
+  const ProgressSnapshot p = obs.progress.snapshot();
+  emit_counter(out, "ysmart_queries_started_total",
+               "queries whose execution began", p.queries_started);
+  emit_counter(out, "ysmart_queries_finished_total",
+               "queries whose execution completed", p.queries_finished);
+  emit_gauge(out, "ysmart_query_inflight",
+             "1 while a query DAG is executing", p.active ? 1 : 0);
+  return out;
+}
+
+}  // namespace ysmart::obs

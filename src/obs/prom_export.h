@@ -1,0 +1,42 @@
+// Prometheus text exposition (format 0.0.4) of the observability state.
+//
+// Pure rendering — no sockets here, so the output is unit-testable and
+// the same function backs the HTTP listener's GET /metrics, the shell's
+// \serve <file> dump, and the CI smoke job. Mapping:
+//
+//  * counter `engine.jobs.run`  -> `ysmart_engine_jobs_run_total` with
+//    `# TYPE ... counter` (counters get the conventional _total suffix;
+//    values reconcile exactly with QueryMetrics, like the registry).
+//  * gauge `pool.workers.size` -> `ysmart_pool_workers_size`, TYPE gauge.
+//  * histogram `engine.map.task_sim_seconds` -> TYPE histogram with
+//    CUMULATIVE `_bucket{le="..."}` series ending in le="+Inf", plus
+//    `_sum` and `_count` (the registry stores per-bucket counts; the
+//    renderer accumulates).
+//
+// render_prometheus(ObsContext) additionally exports the journal/flight-
+// recorder depth gauges (events buffered/dropped, history retained) and
+// progress counters so an external monitor can watch a long-lived shell.
+// Every HELP line carries the original dotted registry name.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics_registry.h"
+
+namespace ysmart::obs {
+
+struct ObsContext;
+
+/// `engine.map.tasks` -> `ysmart_engine_map_tasks`: dots and other
+/// non-[a-zA-Z0-9_] characters become underscores, `ysmart_` prefixed.
+std::string prometheus_name(std::string_view dotted);
+
+/// Exposition of one registry's counters, gauges and histograms.
+std::string render_prometheus(const MetricsRegistry& registry);
+
+/// Exposition of a whole ObsContext: the registry plus event-journal,
+/// history and progress depth metrics.
+std::string render_prometheus(const ObsContext& obs);
+
+}  // namespace ysmart::obs

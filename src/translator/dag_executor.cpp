@@ -47,7 +47,14 @@ QueryRunResult run_translated(const TranslatedQuery& query, Engine& engine,
     obs::ScopedSpan wave_span(obs, strf("wave:%zu", wave_idx), "wave");
     // Stamp this wave's jobs in the sample store: the analyzer regroups
     // them by wave id to reproduce the wall_time_s fold below exactly.
-    if (obs) obs->samples.set_current_wave(static_cast<int>(wave_idx));
+    if (obs) {
+      obs->samples.set_current_wave(static_cast<int>(wave_idx));
+      obs->progress.begin_wave(wave_idx, wave.size());
+      obs->events.emit(obs::EventLevel::Info, obs::EventCategory::Schedule,
+                       "wave-start", obs->tracer.sim_now(),
+                       {{"wave", static_cast<std::uint64_t>(wave_idx)},
+                        {"jobs", static_cast<std::uint64_t>(wave.size())}});
+    }
     ++wave_idx;
     // Jobs in one wave run concurrently on the modeled timeline: every
     // job in it starts at the wave's simulated start, and the wave ends
@@ -74,6 +81,16 @@ QueryRunResult run_translated(const TranslatedQuery& query, Engine& engine,
       wave_span.sim(wave_sim0, wave_wall);
       wave_span.arg("jobs", static_cast<std::uint64_t>(wave.size()));
       obs->tracer.set_sim_now(wave_sim0 + wave_wall);
+      obs->events.emit(obs::EventLevel::Info, obs::EventCategory::Schedule,
+                       "wave-done", wave_sim0 + wave_wall,
+                       {{"wave", static_cast<std::uint64_t>(wave_idx - 1)},
+                        {"jobs", static_cast<std::uint64_t>(wave.size())},
+                        {"wave_sim_s", wave_wall}});
+      if (any_failed)
+        obs->events.emit(obs::EventLevel::Error, obs::EventCategory::Schedule,
+                         "query-abort", wave_sim0 + wave_wall,
+                         {{"pending_jobs", static_cast<std::uint64_t>(
+                               pending.size() - wave.size())}});
     }
     std::vector<std::size_t> rest;
     for (std::size_t i : pending)

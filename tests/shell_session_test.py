@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""End-to-end scripted session of ysmart_shell with recorders active.
+
+Drives the interactive shell through stdin with YSMART_TRACE,
+YSMART_METRICS and YSMART_EVENTS set, runs two queries plus the
+flight-recorder/progress/exposition commands, and asserts that
+
+  - the shell exits cleanly and prints history/top/last output,
+  - the trace file is valid JSON with spans for both queries,
+  - the metrics file is valid JSON with engine counters covering them,
+  - the events file is valid JSONL with strictly increasing seq and
+    events from both queries,
+  - \\serve <file> renders a Prometheus exposition.
+
+Standard library only; invoked by ctest as
+    python3 tests/shell_session_test.py <path-to-ysmart_shell>
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+QUERY1 = "SELECT count(*) AS n FROM lineitem"
+QUERY2 = "SELECT cid, count(*) AS n FROM clicks GROUP BY cid"
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: shell_session_test.py <ysmart_shell binary>")
+    shell = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace = os.path.join(tmp, "session.trace.json")
+        metrics = os.path.join(tmp, "session.metrics.json")
+        events = os.path.join(tmp, "session.events.jsonl")
+        prom = os.path.join(tmp, "session.prom")
+
+        script = "\n".join([
+            "\\profile on",
+            QUERY1,
+            QUERY2,
+            "\\history",
+            "\\top",
+            "\\last 1",
+            f"\\serve {prom}",
+            "\\quit",
+        ]) + "\n"
+
+        env = dict(os.environ,
+                   YSMART_TRACE=trace,
+                   YSMART_METRICS=metrics,
+                   YSMART_EVENTS=events)
+        proc = subprocess.run(
+            [shell], input=script, env=env, text=True,
+            capture_output=True, timeout=90,
+        )
+        if proc.returncode != 0:
+            fail(f"shell exited {proc.returncode}\nstderr:\n{proc.stderr}")
+        out = proc.stdout
+
+        for needle, why in [
+            ("history:", "\\history output"),
+            ("query doctor", "\\last analyzer report"),
+            ("state: done", "\\top progress state"),
+            (f"wrote {prom}", "\\serve file confirmation"),
+        ]:
+            if needle not in out:
+                fail(f"missing {why} ({needle!r}) in shell output:\n{out}")
+
+        # Trace: valid JSON, spans for two queries.
+        with open(trace) as f:
+            tr = json.load(f)
+        tr_text = json.dumps(tr)
+        if tr_text.count("query:ysmart") < 2:
+            fail("trace does not contain spans for 2 queries")
+
+        # Metrics: valid JSON with engine counters covering >= 2 jobs.
+        with open(metrics) as f:
+            m = json.load(f)
+        jobs_run = m.get("counters", {}).get("engine.jobs.run", 0)
+        if jobs_run < 2:
+            fail(f"metrics engine.jobs.run = {jobs_run}, expected >= 2")
+
+        # Events: valid JSONL, strictly increasing seq, both queries seen.
+        last_seq = -1
+        query_starts = 0
+        with open(events) as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                ev = json.loads(line)
+                for key in ("seq", "level", "category", "name", "sim_s",
+                            "fields"):
+                    if key not in ev:
+                        fail(f"events line {lineno} missing {key!r}: {line}")
+                if ev["seq"] <= last_seq:
+                    fail(f"events line {lineno}: seq {ev['seq']} "
+                         f"not increasing (prev {last_seq})")
+                last_seq = ev["seq"]
+                if ev["name"] == "query-start":
+                    query_starts += 1
+        if query_starts < 2:
+            fail(f"events contain {query_starts} query-start events, "
+                 "expected >= 2")
+
+        # Exposition file rendered by \serve <file>.
+        with open(prom) as f:
+            prom_text = f.read()
+        for needle in ("# TYPE ysmart_engine_jobs_run_total counter",
+                       "ysmart_queries_finished_total 2"):
+            if needle not in prom_text:
+                fail(f"exposition missing {needle!r}")
+
+    print("shell session e2e ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -318,6 +318,80 @@ TEST(PoolInvariance, ResultsAndSimulatedSecondsIdenticalAcrossPoolSizes) {
   for (std::size_t i = 0; i < s1.jobs[0].reduce_tasks.size(); ++i)
     same_sample(s1.jobs[0].reduce_tasks[i], sn.jobs[0].reduce_tasks[i]);
   EXPECT_EQ(obs::analyze_query(s1).json(), obs::analyze_query(sn).json());
+
+  // The event journal's sim-axis rendering is byte-identical across pool
+  // sizes: sequence numbers, ordering, timestamps and fields all come
+  // from the orchestrating thread's deterministic schedule. (Retries are
+  // active at task_failure_rate 0.2, so fault events are exercised too.)
+  EXPECT_GT(o1.events.total_emitted(), 0u);
+  EXPECT_EQ(o1.events.jsonl(obs::EventLog::IncludeWall::No),
+            on.events.jsonl(obs::EventLog::IncludeWall::No));
+
+  // Progress counters settle to the same completed state at both sizes.
+  const obs::ProgressSnapshot p1 = o1.progress.snapshot();
+  const obs::ProgressSnapshot pn = on.progress.snapshot();
+  EXPECT_EQ(p1.tasks_done(), pn.tasks_done());
+  EXPECT_EQ(p1.tasks_total(), pn.tasks_total());
+  EXPECT_EQ(p1.jobs_done, pn.jobs_done);
+  EXPECT_DOUBLE_EQ(p1.sim_done_s, pn.sim_done_s);
+}
+
+TEST(PoolInvariance, FullObservabilityDoesNotPerturbQueryRuns) {
+  // Database-level counterpart of the engine test above: a full DAG run
+  // with every surface active (journal, progress with a live callback,
+  // flight recorder) produces the same simulated metrics and analyzer
+  // output as a bare run, and its sim-axis journal is pool-independent.
+  ClicksConfig c;
+  c.users = 120;
+  auto clicks = generate_clicks(c);
+
+  auto run_query = [&](obs::ObsContext* obs) {
+    Database db(ClusterConfig::small_local(50));
+    db.create_table("clicks", clicks);
+    if (obs) db.set_observer(obs);
+    return db.run(queries::qcsa().sql, TranslatorProfile::hive());
+  };
+
+  const auto plain = run_query(nullptr);
+  obs::ObsContext full;
+  std::size_t callbacks = 0;
+  full.progress.set_callback(
+      [&](const obs::ProgressSnapshot&) { ++callbacks; });
+  const auto observed = run_query(&full);
+
+  ASSERT_FALSE(plain.metrics.failed());
+  EXPECT_DOUBLE_EQ(plain.metrics.total_time_s(), observed.metrics.total_time_s());
+  EXPECT_DOUBLE_EQ(plain.metrics.wall_time_s, observed.metrics.wall_time_s);
+  ASSERT_EQ(plain.metrics.jobs.size(), observed.metrics.jobs.size());
+  for (std::size_t i = 0; i < plain.metrics.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.metrics.jobs[i].map_time_s,
+                     observed.metrics.jobs[i].map_time_s);
+    EXPECT_EQ(plain.metrics.jobs[i].shuffle_bytes_wire,
+              observed.metrics.jobs[i].shuffle_bytes_wire);
+  }
+  EXPECT_GT(callbacks, 0u);
+
+  // The flight recorder captured the run with the values just compared.
+  ASSERT_EQ(full.history.size(), 1u);
+  obs::QueryHistoryRecord rec;
+  ASSERT_TRUE(full.history.at(0, &rec));
+  EXPECT_EQ(rec.sql, queries::qcsa().sql);
+  EXPECT_EQ(rec.profile, "hive");
+  EXPECT_EQ(rec.jobs, static_cast<int>(plain.metrics.jobs.size()));
+  EXPECT_DOUBLE_EQ(rec.sim_wall_s, plain.metrics.wall_time_s);
+  EXPECT_FALSE(rec.failed);
+  EXPECT_FALSE(rec.analyzer_text.empty());
+
+  // And a second fully-observed run is deterministic on the sim axis:
+  // identical journal (modulo wall clock) and identical analyzer digest.
+  obs::ObsContext again;
+  run_query(&again);
+  EXPECT_EQ(full.events.jsonl(obs::EventLog::IncludeWall::No),
+            again.events.jsonl(obs::EventLog::IncludeWall::No));
+  obs::QueryHistoryRecord rec2;
+  ASSERT_TRUE(again.history.at(0, &rec2));
+  EXPECT_EQ(rec.digest, rec2.digest);
+  EXPECT_EQ(rec.analyzer_text, rec2.analyzer_text);
 }
 
 // ---- explain output is deterministic ----

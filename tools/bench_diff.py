@@ -176,13 +176,20 @@ def main(argv):
     for name in new:
         print(f"note: {name} has no baseline entry (new run?)")
     for name in missing:
-        print(f"note: baseline entry {name} missing from fresh reports")
+        # A baseline entry that no fresh report covers means the gate
+        # silently stopped checking that run — hard failure, not a note.
+        print(
+            f"MISSING RUN {name}: present in the baseline but absent from "
+            "the fresh reports — the run was removed or renamed; pass its "
+            "report too, or regenerate the baseline with --update",
+            file=sys.stderr,
+        )
 
-    ok = not regressions and not failures
+    ok = not regressions and not failures and not missing
     print(
         f"bench_diff: {len(fresh)} runs compared, {len(regressions)} "
         f"regression(s), {len(failures)} new failure(s), "
-        f"{len(improvements)} improvement(s) "
+        f"{len(missing)} missing run(s), {len(improvements)} improvement(s) "
         f"(tolerance {args.tolerance * 100:.0f}%)"
     )
     return 0 if ok else 1

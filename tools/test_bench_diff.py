@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench_diff.py regression gate.
+
+The key asymmetry under test: a fresh run with no baseline entry is
+informational (a new bench was added; --update will pick it up), but a
+baseline entry with no fresh run is a hard failure (the gate silently
+stopped checking something). Run directly or via ctest:
+
+    python3 tools/test_bench_diff.py
+"""
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff  # noqa: E402
+
+
+def report(bench, records):
+    return {
+        "schema_version": 1,
+        "bench": bench,
+        "records": [
+            {
+                "query": q,
+                "profile": p,
+                "failed": failed,
+                "sim": {"total_s": total},
+            }
+            for (q, p, total, failed) in records
+        ],
+    }
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name, doc):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w") as f:
+            json.dump(doc, f)
+        return p
+
+    def run_diff(self, baseline_entries, fresh_reports, tolerance=0.05):
+        baseline = self.path(
+            "baseline.json", bench_diff.entries_to_baseline(baseline_entries)
+        )
+        argv = ["bench_diff.py", "--baseline", baseline,
+                "--tolerance", str(tolerance)] + fresh_reports
+        return bench_diff.main(argv)
+
+    @staticmethod
+    def entry(total, failed=False):
+        return {"sim_total_s": total, "failed": failed}
+
+    def test_identical_reports_pass(self):
+        base = {("b", "q1", "ysmart"): self.entry(10.0)}
+        fresh = self.path("fresh.json", report("b", [("q1", "ysmart", 10.0, False)]))
+        self.assertEqual(self.run_diff(base, [fresh]), 0)
+
+    def test_regression_fails(self):
+        base = {("b", "q1", "ysmart"): self.entry(10.0)}
+        fresh = self.path("fresh.json", report("b", [("q1", "ysmart", 12.0, False)]))
+        self.assertEqual(self.run_diff(base, [fresh]), 1)
+
+    def test_new_run_is_informational(self):
+        base = {("b", "q1", "ysmart"): self.entry(10.0)}
+        fresh = self.path(
+            "fresh.json",
+            report("b", [("q1", "ysmart", 10.0, False),
+                         ("q2", "ysmart", 99.0, False)]),
+        )
+        self.assertEqual(self.run_diff(base, [fresh]), 0)
+
+    def test_lost_baseline_run_is_hard_failure(self):
+        base = {
+            ("b", "q1", "ysmart"): self.entry(10.0),
+            ("b", "q2", "ysmart"): self.entry(20.0),
+        }
+        fresh = self.path("fresh.json", report("b", [("q1", "ysmart", 10.0, False)]))
+        self.assertEqual(self.run_diff(base, [fresh]), 1)
+
+    def test_new_failure_fails(self):
+        base = {("b", "q1", "ysmart"): self.entry(10.0)}
+        fresh = self.path("fresh.json", report("b", [("q1", "ysmart", 10.0, True)]))
+        self.assertEqual(self.run_diff(base, [fresh]), 1)
+
+    def test_baseline_failure_stays_allowed(self):
+        base = {("b", "q1", "ysmart"): self.entry(10.0, failed=True)}
+        fresh = self.path("fresh.json", report("b", [("q1", "ysmart", 10.0, True)]))
+        self.assertEqual(self.run_diff(base, [fresh]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

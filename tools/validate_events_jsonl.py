@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate a structured event journal (YSMART_EVENTS output).
+
+Checks every line of each JSONL file:
+  - parses as a JSON object with the envelope keys
+    seq / level / category / name / sim_s / wall_us / fields
+  - level and category come from the engine's enums
+  - seq is strictly increasing within the file (the ring may drop old
+    events, so seq need not start at 0 or be dense across files)
+  - sim_s is a finite, non-negative simulated timestamp
+  - fields is an object
+
+Standard library only. Exit codes: 0 ok, 1 validation failure, 2 usage.
+
+Usage:
+    tools/validate_events_jsonl.py FILE [FILE...]
+"""
+import json
+import math
+import sys
+
+LEVELS = {"debug", "info", "warn", "error"}
+CATEGORIES = {
+    "translate", "schedule", "map", "shuffle", "reduce", "post-job", "fault",
+}
+REQUIRED = ("seq", "level", "category", "name", "sim_s", "fields")
+
+
+def validate_file(path):
+    errors = []
+
+    def err(lineno, msg):
+        errors.append(f"{path}:{lineno}: {msg}")
+
+    last_seq = -1
+    count = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            count += 1
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                err(lineno, f"not valid JSON: {e}")
+                continue
+            if not isinstance(ev, dict):
+                err(lineno, "event is not a JSON object")
+                continue
+            missing = [k for k in REQUIRED if k not in ev]
+            if missing:
+                err(lineno, f"missing keys: {', '.join(missing)}")
+                continue
+            if not isinstance(ev["seq"], int) or ev["seq"] < 0:
+                err(lineno, f"seq {ev['seq']!r} is not a non-negative integer")
+            elif ev["seq"] <= last_seq:
+                err(lineno,
+                    f"seq {ev['seq']} does not increase (previous {last_seq})")
+            else:
+                last_seq = ev["seq"]
+            if ev["level"] not in LEVELS:
+                err(lineno, f"unknown level {ev['level']!r}")
+            if ev["category"] not in CATEGORIES:
+                err(lineno, f"unknown category {ev['category']!r}")
+            if not isinstance(ev["name"], str) or not ev["name"]:
+                err(lineno, "name is not a non-empty string")
+            sim = ev["sim_s"]
+            if (not isinstance(sim, (int, float)) or isinstance(sim, bool)
+                    or not math.isfinite(sim) or sim < 0):
+                err(lineno, f"sim_s {sim!r} is not a finite non-negative number")
+            if "wall_us" in ev and not isinstance(ev["wall_us"], (int, float)):
+                err(lineno, f"wall_us {ev['wall_us']!r} is not a number")
+            if not isinstance(ev["fields"], dict):
+                err(lineno, "fields is not an object")
+    if count == 0:
+        errors.append(f"{path}: no events")
+    return count, errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        try:
+            count, errors = validate_file(path)
+        except OSError as e:
+            print(f"error: {e}", file=sys.stderr)
+            ok = False
+            continue
+        for e in errors:
+            print(e, file=sys.stderr)
+        if errors:
+            ok = False
+        else:
+            print(f"{path}: {count} events ok")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
