@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/normkey.h"
 #include "common/strings.h"
 #include "exec/aggregates.h"
 #include "exec/expr_eval.h"
@@ -126,7 +127,11 @@ class SpMapper final : public Mapper {
   std::shared_ptr<const CompiledJob> cj_;
 };
 
-/// Hash-based map-side partial aggregation (CombineAgg jobs).
+/// Hash-based map-side partial aggregation (CombineAgg jobs), keyed by
+/// the normalized key bytes (common/normkey.h): one encode plus a string
+/// hash per record instead of the O(log groups) cell-by-cell Row
+/// comparisons the previous std::map paid, and the encoding is handed to
+/// the emitter so the engine never re-encodes these keys.
 class CombineAggMapper final : public Mapper {
  public:
   explicit CombineAggMapper(std::shared_ptr<const CompiledJob> cj)
@@ -138,33 +143,56 @@ class CombineAggMapper final : public Mapper {
     Row key;
     key.reserve(cj_->combine_group_exprs.size());
     for (const auto& g : cj_->combine_group_exprs) key.push_back(g.eval(record));
-    auto it = groups_.find(key);
+    norm_scratch_.clear();
+    for (const auto& v : key) append_norm_key(v, norm_scratch_);
+    auto it = groups_.find(norm_scratch_);
     if (it == groups_.end()) {
-      std::vector<AggState> st;
-      for (const auto& a : cj_->combine_agg->aggs) st.emplace_back(a);
-      it = groups_.emplace(std::move(key), std::move(st)).first;
+      Group g;
+      g.key = std::move(key);
+      for (const auto& a : cj_->combine_agg->aggs) g.states.emplace_back(a);
+      it = groups_.emplace(norm_scratch_, std::move(g)).first;
     }
     const auto& aggs = cj_->combine_agg->aggs;
     for (std::size_t i = 0; i < aggs.size(); ++i) {
       if (aggs[i].star)
-        it->second[i].add(Value{std::int64_t{1}});
+        it->second.states[i].add(Value{std::int64_t{1}});
       else
-        it->second[i].add(cj_->combine_arg_exprs[i].eval(record));
+        it->second.states[i].add(cj_->combine_arg_exprs[i].eval(record));
     }
   }
 
   void finish(MapEmitter& out) override {
-    for (const auto& [key, states] : groups_) {
+    // Emit in normalized-key byte order — the same order the previous
+    // RowLess-sorted map iterated in (memcmp order over the encoding is
+    // exactly compare_rows order), keeping map output deterministic
+    // across standard-library hash-table implementations.
+    std::vector<decltype(groups_)::value_type*> sorted;
+    sorted.reserve(groups_.size());
+    for (auto& entry : groups_) sorted.push_back(&entry);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto* a, const auto* b) {
+                return norm_key_compare(a->first, b->first) < 0;
+              });
+    for (auto* entry : sorted) {
       Row partial;
-      for (const auto& s : states) s.to_partial(partial);
-      out.emit(key, std::move(partial));
+      for (const auto& s : entry->second.states) s.to_partial(partial);
+      KeyValue kv;
+      kv.key = std::move(entry->second.key);
+      kv.value = std::move(partial);
+      kv.norm_key = entry->first;  // map key is const; one copy per group
+      out.emit(std::move(kv));
     }
     groups_.clear();
   }
 
  private:
+  struct Group {
+    Row key;
+    std::vector<AggState> states;
+  };
   std::shared_ptr<const CompiledJob> cj_;
-  std::map<Row, std::vector<AggState>, RowLess> groups_;
+  std::unordered_map<std::string, Group> groups_;
+  std::string norm_scratch_;
 };
 
 // ------------------------------ reducers ------------------------------

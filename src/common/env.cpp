@@ -31,6 +31,27 @@ std::optional<int> env_positive_int(const char* name) {
   return v;
 }
 
+std::optional<bool> parse_flag(const std::string& text) {
+  std::string t;
+  for (char c : text)
+    t.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  if (t == "on" || t == "1" || t == "true" || t == "yes") return true;
+  if (t == "off" || t == "0" || t == "false" || t == "no") return false;
+  return std::nullopt;
+}
+
+std::optional<bool> env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  if (!raw) return std::nullopt;
+  auto v = parse_flag(raw);
+  if (!v)
+    std::fprintf(stderr,
+                 "warning: ignoring %s=\"%s\" (expected on/off, 1/0, "
+                 "true/false or yes/no); using the default\n",
+                 name, raw);
+  return v;
+}
+
 std::optional<std::string> env_nonempty(const char* name) {
   const char* raw = std::getenv(name);
   if (!raw) return std::nullopt;

@@ -27,4 +27,13 @@ std::optional<int> env_positive_int(const char* name);
 /// and returns nullopt.
 std::optional<std::string> env_nonempty(const char* name);
 
+/// Parse `text` as a boolean switch: "on"/"1"/"true"/"yes" and
+/// "off"/"0"/"false"/"no" (case-insensitive). Anything else is nullopt.
+std::optional<bool> parse_flag(const std::string& text);
+
+/// Read environment variable `name` as a boolean switch. Unset returns
+/// nullopt silently; a set-but-unparsable value warns on stderr and
+/// returns nullopt so the caller applies its documented default.
+std::optional<bool> env_flag(const char* name);
+
 }  // namespace ysmart

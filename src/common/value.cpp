@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/strings.h"
 
 namespace ysmart {
 
@@ -66,6 +67,28 @@ std::size_t Value::byte_size() const {
   return 1;
 }
 
+namespace {
+
+/// Exact three-way comparison of an int64 against a double — no cast of
+/// the int to double, which would collapse neighbours beyond 2^53 and
+/// break the total order (int 2^53 < int 2^53+1, yet both would "equal"
+/// double 2^53.0). NaN keeps its historical behaviour of comparing
+/// "equal" to any numeric.
+std::strong_ordering compare_int_double(std::int64_t i, double d) {
+  if (std::isnan(d)) return std::strong_ordering::equal;
+  constexpr double kTwo63 = 9223372036854775808.0;  // 2^63, exact
+  if (d >= kTwo63) return std::strong_ordering::less;
+  if (d < -kTwo63) return std::strong_ordering::greater;
+  // floor(d) now fits in int64 exactly (doubles this large are integers,
+  // doubles this small have an exactly representable floor).
+  const double fl = std::floor(d);
+  const auto f = static_cast<std::int64_t>(fl);
+  if (i != f) return i <=> f;
+  return d > fl ? std::strong_ordering::less : std::strong_ordering::equal;
+}
+
+}  // namespace
+
 std::strong_ordering Value::compare(const Value& other) const {
   const bool a_num = type() == ValueType::Int || type() == ValueType::Double;
   const bool b_num =
@@ -78,8 +101,18 @@ std::strong_ordering Value::compare(const Value& other) const {
       const auto b = std::get<std::int64_t>(other.v_);
       return a <=> b;
     }
-    const double a = numeric();
-    const double b = other.numeric();
+    if (type() == ValueType::Int)
+      return compare_int_double(std::get<std::int64_t>(v_),
+                                std::get<double>(other.v_));
+    if (other.type() == ValueType::Int) {
+      const auto c = compare_int_double(std::get<std::int64_t>(other.v_),
+                                        std::get<double>(v_));
+      if (c == std::strong_ordering::less) return std::strong_ordering::greater;
+      if (c == std::strong_ordering::greater) return std::strong_ordering::less;
+      return std::strong_ordering::equal;
+    }
+    const double a = std::get<double>(v_);
+    const double b = std::get<double>(other.v_);
     if (a < b) return std::strong_ordering::less;
     if (a > b) return std::strong_ordering::greater;
     return std::strong_ordering::equal;
@@ -151,41 +184,59 @@ void Value::encode(std::string& out) const {
 }
 
 Value Value::decode(const std::string& in, std::size_t& pos) {
-  if (pos >= in.size()) throw InternalError("Value::decode: out of bounds");
+  // Every read is bounds-checked up front so truncated or corrupt input
+  // fails loudly (with the offending offset) instead of reading past the
+  // end of the buffer; `pos` is only advanced past validated bytes.
+  if (pos >= in.size())
+    throw InternalError(
+        strf("Value::decode: no tag byte at offset %zu (buffer is %zu bytes)",
+             pos, in.size()));
   const char tag = in[pos++];
   switch (tag) {
     case 'N':
       return Value::null();
     case 'I': {
       std::int64_t i;
-      if (pos + sizeof(i) > in.size())
-        throw InternalError("Value::decode: truncated int");
+      if (in.size() - pos < sizeof(i))
+        throw InternalError(
+            strf("Value::decode: truncated int at offset %zu (need 8 bytes, "
+                 "have %zu)",
+                 pos, in.size() - pos));
       std::memcpy(&i, in.data() + pos, sizeof(i));
       pos += sizeof(i);
       return Value{i};
     }
     case 'D': {
       double d;
-      if (pos + sizeof(d) > in.size())
-        throw InternalError("Value::decode: truncated double");
+      if (in.size() - pos < sizeof(d))
+        throw InternalError(
+            strf("Value::decode: truncated double at offset %zu (need 8 "
+                 "bytes, have %zu)",
+                 pos, in.size() - pos));
       std::memcpy(&d, in.data() + pos, sizeof(d));
       pos += sizeof(d);
       return Value{d};
     }
     case 'S': {
       std::uint32_t n;
-      if (pos + sizeof(n) > in.size())
-        throw InternalError("Value::decode: truncated string length");
+      if (in.size() - pos < sizeof(n))
+        throw InternalError(
+            strf("Value::decode: truncated string length at offset %zu", pos));
       std::memcpy(&n, in.data() + pos, sizeof(n));
       pos += sizeof(n);
-      if (pos + n > in.size())
-        throw InternalError("Value::decode: truncated string body");
+      if (in.size() - pos < n)
+        throw InternalError(
+            strf("Value::decode: truncated string body at offset %zu "
+                 "(length says %u bytes, have %zu)",
+                 pos, n, in.size() - pos));
       Value v{in.substr(pos, n)};
       pos += n;
       return v;
     }
     default:
-      throw InternalError("Value::decode: bad tag");
+      throw InternalError(strf(
+          "Value::decode: bad tag byte 0x%02x at offset %zu",
+          static_cast<unsigned>(static_cast<unsigned char>(tag)), pos - 1));
   }
 }
 

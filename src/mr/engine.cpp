@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <memory>
-#include <queue>
 
 #include "common/error.h"
+#include "common/normkey.h"
 #include "common/strings.h"
+#include "mr/shuffle.h"
 #include "obs/obs.h"
 
 namespace ysmart {
@@ -35,8 +36,10 @@ struct MapTaskDef {
   int scheduled_node = 0;  // node the TaskTracker runs the task on
 };
 
-/// Buffered map emitter: partitions pairs by hash(key) % R and counts
-/// bytes with the job's tag encoding.
+/// Buffered map emitter: encodes each pair's normalized key once,
+/// partitions by one hash over those bytes, and counts bytes with the
+/// job's tag encoding (the wire encoding of the Row key — the cached
+/// normalized key is never charged).
 class PartitioningEmitter final : public MapEmitter {
  public:
   PartitioningEmitter(int num_partitions, const MRJobSpec& spec)
@@ -45,7 +48,13 @@ class PartitioningEmitter final : public MapEmitter {
   void emit(KeyValue kv) override {
     bytes_ += kv_byte_size(kv, spec_.num_merged_jobs, spec_.tag_encoding);
     ++records_;
-    const std::size_t p = RowHash{}(kv.key) % buckets_.size();
+    // Mappers that already hold the normalized key (e.g. the CombineAgg
+    // hash-aggregation keyed by it) pass it through; everyone else gets
+    // it encoded here, once per pair. An empty norm_key only ever means
+    // "not encoded yet": the empty Row key also encodes to empty bytes.
+    if (kv.norm_key.empty()) kv.norm_key = encode_norm_key(kv.key);
+    const std::size_t p = shuffle_partition(kv, buckets_.size());
+    kv.seq = static_cast<std::uint32_t>(buckets_[p].size());
     buckets_[p].push_back(std::move(kv));
   }
 
@@ -116,8 +125,9 @@ MapTaskResult run_map_task(const MRJobSpec& spec, const MapTaskDef& task,
                 task.block->replica_nodes.end(),
                 task.scheduled_node) != task.block->replica_nodes.end();
   res.buckets = emitter.take_buckets();
-  // Sort each partition by key (the map-side sort in Hadoop).
-  for (auto& b : res.buckets) std::stable_sort(b.begin(), b.end(), kv_less);
+  // Sort each partition by key (the map-side sort in Hadoop), on the
+  // raw comparator over the cached normalized keys (mr/shuffle.h).
+  for (auto& b : res.buckets) sort_map_bucket(b);
   return res;
 }
 
@@ -125,47 +135,14 @@ MapTaskResult run_map_task(const MRJobSpec& spec, const MapTaskDef& task,
 /// (the reduce-side merge in Hadoop). Ties are broken by map task index,
 /// and within one bucket the order is preserved, so the output is exactly
 /// what concatenating in task order and stable-sorting would produce —
-/// without re-sorting sorted runs.
+/// without re-sorting sorted runs. The comparisons run over the cached
+/// normalized keys (mr/shuffle.h).
 std::vector<KeyValue> merge_sorted_buckets(std::vector<MapTaskResult>& results,
                                            std::size_t p) {
-  struct Cursor {
-    std::size_t task;  // index into results
-    std::size_t pos;   // position within the bucket
-  };
-  std::size_t total = 0;
-  std::vector<std::size_t> live;  // tasks with a non-empty bucket p
-  for (std::size_t t = 0; t < results.size(); ++t) {
-    total += results[t].buckets[p].size();
-    if (!results[t].buckets[p].empty()) live.push_back(t);
-  }
-  std::vector<KeyValue> out;
-  out.reserve(total);
-  if (live.size() == 1) {
-    out = std::move(results[live[0]].buckets[p]);
-    results[live[0]].buckets[p].clear();
-    return out;
-  }
-
-  // Min-heap: smallest (key, source, task index) on top.
-  auto greater = [&](const Cursor& a, const Cursor& b) {
-    const KeyValue& ka = results[a.task].buckets[p][a.pos];
-    const KeyValue& kb = results[b.task].buckets[p][b.pos];
-    if (kv_less(ka, kb)) return false;
-    if (kv_less(kb, ka)) return true;
-    return a.task > b.task;
-  };
-  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(
-      greater);
-  for (std::size_t t : live) heap.push(Cursor{t, 0});
-  while (!heap.empty()) {
-    const Cursor c = heap.top();
-    heap.pop();
-    auto& bucket = results[c.task].buckets[p];
-    out.push_back(std::move(bucket[c.pos]));
-    if (c.pos + 1 < bucket.size()) heap.push(Cursor{c.task, c.pos + 1});
-  }
-  for (std::size_t t : live) results[t].buckets[p].clear();
-  return out;
+  std::vector<std::vector<KeyValue>*> runs;
+  runs.reserve(results.size());
+  for (auto& r : results) runs.push_back(&r.buckets[p]);
+  return merge_sorted_runs(runs);
 }
 
 /// Everything one reduce partition produces; aggregated into JobMetrics
@@ -212,7 +189,9 @@ PartitionResult run_reduce_partition(const MRJobSpec& spec,
   std::size_t i = 0;
   while (i < part.size()) {
     std::size_t j = i + 1;
-    while (j < part.size() && compare_rows(part[i].key, part[j].key) == 0) ++j;
+    // Key-group boundary detection: byte equality of the cached
+    // normalized keys instead of re-comparing Rows cell by cell.
+    while (j < part.size() && same_shuffle_key(part[i], part[j])) ++j;
     if (sample) {
       ++res.key_groups;
       res.hot_keys.offer(row_to_string(part[i].key), j - i);

@@ -37,7 +37,12 @@ class MapEmitter {
 
   void emit(Row key, Row value, std::uint8_t source = 0,
             std::uint32_t exclude = 0) {
-    emit(KeyValue{std::move(key), std::move(value), source, exclude});
+    KeyValue kv;
+    kv.key = std::move(key);
+    kv.value = std::move(value);
+    kv.source = source;
+    kv.exclude = exclude;
+    emit(std::move(kv));
   }
 };
 

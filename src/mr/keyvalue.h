@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/value.h"
 
@@ -24,6 +25,20 @@ struct KeyValue {
   Row value;
   std::uint8_t source = 0;
   std::uint32_t exclude = 0;
+
+  /// Normalized key: the order-preserving binary encoding of `key`
+  /// (common/normkey.h), computed once at map-emit time and reused by
+  /// every comparison on the shuffle path — partition hash, map-side
+  /// sort, reduce-side merge, key grouping. Purely an in-memory cache:
+  /// never serialized and never counted by kv_byte_size (the cost model
+  /// keeps charging the wire encoding of `key`).
+  std::string norm_key;
+
+  /// Emit sequence number within this pair's map-side partition bucket.
+  /// Tie-breaks pairs with identical (key, source) so plain std::sort
+  /// over (norm_key, source, seq) reproduces exactly the order the old
+  /// stable_sort produced.
+  std::uint32_t seq = 0;
 
   /// True if merged job `job_id` should process this pair.
   bool visible_to(int job_id) const {
@@ -41,8 +56,11 @@ enum class TagEncoding { ExcludeList, IncludeList };
 std::uint64_t kv_byte_size(const KeyValue& kv, int num_merged_jobs,
                            TagEncoding enc);
 
-/// Ordering used by the shuffle sort: by key, then source (so reducers see
-/// a deterministic value order).
+/// Reference ordering of the shuffle sort: by key, then source (so
+/// reducers see a deterministic value order). The engine's hot path uses
+/// the equivalent raw comparator over normalized keys (mr/shuffle.h);
+/// this cell-by-cell form remains the executable specification that
+/// tests pin the raw path against.
 bool kv_less(const KeyValue& a, const KeyValue& b);
 
 }  // namespace ysmart
