@@ -17,10 +17,18 @@
 // document (schema: bench/analyzer_schema.json) with the rendered text
 // reports. --progress (no value) prints live per-job completion lines on
 // stderr while runs execute; it only reads the progress tracker, so the
-// --json report is byte-identical with or without it (pinned by the CI
-// regression gate against BENCH_baseline.json). Without flags the
-// benches behave exactly as before: no observer is attached and nothing
-// is written.
+// --json report's *simulated* values are identical with or without it
+// (pinned by the CI regression gate against BENCH_baseline.json).
+//
+// Host profiling: whenever --json or --folded is requested (and
+// YSMART_PROFILE is not "off"), the host profiler is enabled and each
+// --json record gains a "host_phases" section — per-phase host CPU,
+// per-chunk wall, allocation counts and dispatch counters, with its own
+// schema_version (see obs/profiler.h). --folded <path> writes the whole
+// bench's folded-stack flamegraph (pipe through flamegraph.pl). Host
+// numbers are informational: only simulated values are gated. Without
+// flags the benches behave exactly as before: no observer is attached
+// and nothing is written.
 #pragma once
 
 #include <chrono>
@@ -31,6 +39,7 @@
 #include <vector>
 
 #include "api/database.h"
+#include "common/env.h"
 #include "common/io.h"
 #include "common/json.h"
 #include "mr/metrics.h"
@@ -65,7 +74,14 @@ class Report {
       if (std::strcmp(argv[i], "--json") == 0) json_path_ = argv[i + 1];
       if (std::strcmp(argv[i], "--trace") == 0) trace_path_ = argv[i + 1];
       if (std::strcmp(argv[i], "--analyze") == 0) analyze_path_ = argv[i + 1];
+      if (std::strcmp(argv[i], "--folded") == 0) folded_path_ = argv[i + 1];
     }
+    // Host profiling rides along with any output that can carry it,
+    // unless YSMART_PROFILE=off (the escape hatch when the report's
+    // wall_ms must exclude even the profiler's relaxed-atomic cost).
+    host_profiling_ = env_flag("YSMART_PROFILE").value_or(true) &&
+                      (!json_path_.empty() || !folded_path_.empty());
+    if (host_profiling_) obs_.profiler.set_enabled(true);
     // --progress takes no value, so scan the full argv separately.
     for (int i = 1; i < argc; ++i)
       if (std::strcmp(argv[i], "--progress") == 0) progress_ = true;
@@ -93,10 +109,13 @@ class Report {
   bool tracing() const { return !trace_path_.empty(); }
   bool analyzing() const { return !analyze_path_.empty(); }
   bool progress() const { return progress_; }
+  bool host_profiling() const { return host_profiling_; }
   /// The observability context runs attach, or null when neither tracing,
-  /// analyzing nor printing progress.
+  /// analyzing, host-profiling nor printing progress.
   obs::ObsContext* obs() {
-    return tracing() || analyzing() || progress_ ? &obs_ : nullptr;
+    return tracing() || analyzing() || progress_ || host_profiling_
+               ? &obs_
+               : nullptr;
   }
 
   void record(const std::string& query, const std::string& profile,
@@ -113,6 +132,15 @@ class Report {
           obs::analyze_query(obs_.samples.last_query());
       r.analyzer_json = a.json();
       r.analyzer_text = a.text();
+    }
+    if (host_profiling_) {
+      // Slice out just the phases (and process CPU) recorded since the
+      // previous record, so each record's host_phases covers one run.
+      const std::uint64_t proc = obs_.profiler.process_cpu_ns();
+      r.host_json = obs_.profiler.json(host_phases_upto_,
+                                       proc - host_proc_cpu_upto_);
+      host_phases_upto_ = obs_.profiler.phase_count();
+      host_proc_cpu_upto_ = proc;
     }
     records_.push_back(std::move(r));
   }
@@ -132,6 +160,10 @@ class Report {
     if (!analyze_path_.empty()) {
       ok &= write_file(analyze_path_, analyses_json());
       analyze_path_.clear();
+    }
+    if (!folded_path_.empty()) {
+      ok &= write_file(folded_path_, obs_.profiler.folded_stacks(obs_.tracer));
+      folded_path_.clear();
     }
     return ok;
   }
@@ -201,6 +233,7 @@ class Report {
       w.end_object();
       w.kv("wall_ms", r.wall_ms);
       if (!r.analyzer_json.empty()) w.key("analyzer").raw(r.analyzer_json);
+      if (!r.host_json.empty()) w.key("host_phases").raw(r.host_json);
       w.key("per_job").begin_array();
       for (const auto& j : m.jobs) {
         w.begin_object();
@@ -227,6 +260,7 @@ class Report {
     double wall_ms = 0;
     std::string analyzer_json;  // empty unless --analyze
     std::string analyzer_text;
+    std::string host_json;  // empty unless host profiling is on
   };
 
   static bool write_file(const std::string& path, const std::string& body) {
@@ -237,7 +271,11 @@ class Report {
   std::string json_path_;
   std::string trace_path_;
   std::string analyze_path_;
+  std::string folded_path_;
   bool progress_ = false;
+  bool host_profiling_ = false;
+  std::size_t host_phases_upto_ = 0;
+  std::uint64_t host_proc_cpu_upto_ = 0;
   std::size_t last_jobs_printed_ = 0;
   std::vector<Record> records_;
   obs::ObsContext obs_;

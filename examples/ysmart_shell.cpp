@@ -15,6 +15,8 @@
 //   ysmart> \history [k]               (flight recorder: last k queries)
 //   ysmart> \last [i]                   (re-print the i-th last analyze tree)
 //   ysmart> \top                        (progress/ETA state of the last run)
+//   ysmart> \hotspots                   (host CPU/alloc table of last run)
+//   ysmart> \flame /tmp/q.folded        (folded stacks for flamegraph.pl)
 //   ysmart> \serve 9090                 (Prometheus /metrics on 127.0.0.1)
 //   ysmart> \serve /tmp/metrics.prom    (render the exposition to a file)
 //   ysmart> \load mytable /path/data.csv   (schema inferred)
@@ -27,7 +29,9 @@
 // YSMART_EVENTS=<file> streams the structured event journal (JSONL) as it
 // happens; YSMART_PROM_PORT=<port> serves /metrics, /healthz and
 // /history.json from startup; YSMART_HISTORY=<n> resizes the flight
-// recorder's retention ring (default 32).
+// recorder's retention ring (default 32); YSMART_PROFILE=off disables
+// the host-axis profiler (on by default; it only feeds \hotspots and
+// \flame, never simulated results).
 //
 // Also reads one-shot queries from the command line:
 //   $ ./build/examples/ysmart_shell "SELECT count(*) AS n FROM lineitem"
@@ -102,6 +106,7 @@ void run_sql(Database& db, const TranslatorProfile& profile,
     if (db.observer() && !sobs.session_trace) {
       sobs.ctx.tracer.clear();
       sobs.ctx.samples.clear();
+      sobs.ctx.profiler.clear();  // \hotspots / \flame cover this query
     }
     auto run = db.run(sql, profile);
     sobs.last_metrics = run.metrics;
@@ -148,6 +153,10 @@ int main(int argc, char** argv) {
   TranslatorProfile profile = TranslatorProfile::ysmart();
 
   ShellObs sobs;
+  // Host profiling is on whenever an observer is attached (off is the
+  // escape hatch); it records host-axis state only, so simulated output
+  // is unchanged either way.
+  sobs.ctx.profiler.set_enabled(env_flag("YSMART_PROFILE").value_or(true));
   const auto trace_env = env_nonempty("YSMART_TRACE");
   const auto metrics_env = env_nonempty("YSMART_METRICS");
   const auto events_env = env_nonempty("YSMART_EVENTS");
@@ -195,8 +204,8 @@ int main(int argc, char** argv) {
   for (const auto& t : db.catalog().table_names()) std::cout << t << " ";
   std::cout << "\ncommands: \\explain <sql>  \\analyze [sql]  \\profile "
                "<ysmart|hive|pig|mrshare|hand|on|off>  \\trace <file>  "
-               "\\counters  \\history [k]  \\last [i]  \\top  "
-               "\\serve <port|file>  \\tables  \\quit\n";
+               "\\counters  \\history [k]  \\last [i]  \\top  \\hotspots  "
+               "\\flame <file>  \\serve <port|file>  \\tables  \\quit\n";
 
   std::string line;
   while (std::cout << "ysmart> " << std::flush, std::getline(std::cin, line)) {
@@ -282,6 +291,30 @@ int main(int argc, char** argv) {
       }
       if (cmd == "top") {
         std::cout << sobs.ctx.progress.snapshot().render();
+        continue;
+      }
+      if (cmd == "hotspots") {
+        if (!sobs.ctx.profiler.enabled())
+          std::cout << "host profiler is off (YSMART_PROFILE=off)\n";
+        else if (sobs.ctx.profiler.phase_count() == 0)
+          std::cout << "no host phases recorded yet - \\profile on and run "
+                       "a query\n";
+        else
+          std::cout << sobs.ctx.profiler.hotspots_table();
+        continue;
+      }
+      if (cmd == "flame") {
+        std::string path;
+        iss >> path;
+        if (path.empty())
+          std::cout << "usage: \\flame <file>  (then: flamegraph.pl <file> "
+                       "> flame.svg)\n";
+        else if (sobs.ctx.profiler.phase_count() == 0)
+          std::cout << "no host phases recorded yet - \\profile on and run "
+                       "a query\n";
+        else
+          write_and_report(path,
+                           sobs.ctx.profiler.folded_stacks(sobs.ctx.tracer));
         continue;
       }
       if (cmd == "serve") {

@@ -37,6 +37,12 @@ TranslatedQuery Database::translate_query(const std::string& sql,
                                           const TranslatorProfile& profile) {
   obs::ScopedSpan translate_span(obs_, "translate:" + profile.name,
                                  "translate");
+  // Translation runs on the orchestrating thread; one TaskClock over the
+  // whole function attributes its host CPU and allocations.
+  obs::PhaseClock translate_prof(obs_ ? &obs_->profiler : nullptr,
+                                 translate_span.id(),
+                                 "translate:" + profile.name, "translate");
+  obs::TaskClock translate_tc(translate_prof.agg());
   PlanPtr p;
   {
     obs::ScopedSpan parse_span(obs_, "parse+plan", "translate");
@@ -71,6 +77,17 @@ std::string Database::explain(const std::string& sql,
 QueryRunResult Database::run(const std::string& sql,
                              const TranslatorProfile& profile) {
   obs::ScopedSpan query_span(obs_, "query:" + profile.name, "query");
+  // Bracket the query's whole-process CPU so per-phase sums have a
+  // coverage top line to reconcile against (host axis only).
+  struct QueryCpuScope {
+    obs::HostProfiler* prof;
+    explicit QueryCpuScope(obs::HostProfiler* p) : prof(p) {
+      if (prof) prof->query_begin();
+    }
+    ~QueryCpuScope() {
+      if (prof) prof->query_end();
+    }
+  } query_cpu(obs_ ? &obs_->profiler : nullptr);
   const double sim0 = obs_ ? obs_->tracer.sim_now() : 0.0;
   // Host wall clock is measured only when an observer is attached and
   // lands exclusively in the history record's segregated wall field.

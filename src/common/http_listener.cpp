@@ -55,8 +55,14 @@ bool HttpListener::start(int port, Handler handler, std::string* error) {
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return fail(strf("socket: %s", std::strerror(errno)));
+  // SO_REUSEADDR before bind: a just-stopped listener leaves the port in
+  // TIME_WAIT, and a quick \serve restart on the same port would
+  // otherwise fail with EADDRINUSE. A setsockopt failure is fatal for
+  // the same reason — silently continuing would make restarts flaky.
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0)
+    return fail(strf("setsockopt(SO_REUSEADDR): %s", std::strerror(errno)));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -65,7 +71,7 @@ bool HttpListener::start(int port, Handler handler, std::string* error) {
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
     return fail(strf("bind 127.0.0.1:%d: %s", port, std::strerror(errno)));
   if (::listen(listen_fd_, 8) < 0)
-    return fail(strf("listen: %s", std::strerror(errno)));
+    return fail(strf("listen 127.0.0.1:%d: %s", port, std::strerror(errno)));
 
   socklen_t len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "common/prof_counters.h"
 #include "common/strings.h"
 
 namespace ysmart {
@@ -183,6 +184,7 @@ Value decode_cell(const std::string& in, std::size_t& pos) {
 }  // namespace
 
 void append_norm_key(const Value& v, std::string& out) {
+  prof::count(prof::kCellsEncoded);
   switch (v.type()) {
     case ValueType::Null:
       out.push_back(static_cast<char>(kTagNull));
@@ -240,6 +242,7 @@ void append_norm_key(const Value& v, std::string& out) {
 }
 
 std::string encode_norm_key(const Row& key) {
+  prof::count(prof::kNormKeyEncodes);
   std::string out;
   // Typical keys are one or two short cells; one reservation covers the
   // common case without a second allocation (and usually stays SSO-free).
@@ -251,7 +254,10 @@ std::string encode_norm_key(const Row& key) {
 Row decode_norm_key(const std::string& in) {
   Row row;
   std::size_t pos = 0;
-  while (pos < in.size()) row.push_back(decode_cell(in, pos));
+  while (pos < in.size()) {
+    prof::count(prof::kCellsDecoded);
+    row.push_back(decode_cell(in, pos));
+  }
   return row;
 }
 

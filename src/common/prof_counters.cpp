@@ -1,0 +1,165 @@
+#include "common/prof_counters.h"
+
+#include <time.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+
+namespace ysmart::prof {
+
+namespace detail {
+constinit std::atomic<bool> g_enabled{false};
+thread_local ThreadCounters t_counters;  // zero-initialized POD TLS
+}  // namespace detail
+
+const char* counter_name(int i) {
+  switch (i) {
+    case kCellCompares:   return "cell_compares";
+    case kRawKeyCompares: return "raw_key_compares";
+    case kRowsEvaluated:  return "rows_evaluated";
+    case kAggUpdates:     return "agg_updates";
+    case kOperatorRows:   return "operator_rows";
+    case kCellsEncoded:   return "cells_encoded";
+    case kCellsDecoded:   return "cells_decoded";
+    case kNormKeyEncodes: return "norm_key_encodes";
+    default:              return "unknown";
+  }
+}
+
+namespace {
+std::mutex g_enable_mu;
+int g_enable_refs = 0;
+}  // namespace
+
+void acquire_enabled() {
+  std::lock_guard<std::mutex> lk(g_enable_mu);
+  if (++g_enable_refs == 1)
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void release_enabled() {
+  std::lock_guard<std::mutex> lk(g_enable_mu);
+  if (g_enable_refs > 0 && --g_enable_refs == 0)
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+ThreadCounters thread_snapshot() { return detail::t_counters; }
+
+namespace {
+std::uint64_t clock_ns(clockid_t id) {
+  struct timespec ts;
+  if (clock_gettime(id, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+}  // namespace
+
+std::uint64_t thread_cpu_ns() { return clock_ns(CLOCK_THREAD_CPUTIME_ID); }
+std::uint64_t process_cpu_ns() { return clock_ns(CLOCK_PROCESS_CPUTIME_ID); }
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace ysmart::prof
+
+// ---------------------------------------------------------------------------
+// Global allocation hooks.
+//
+// Replacing the global operator new/delete set is the only way to count
+// allocations without wrapping every container; the replacements forward
+// to malloc/free (what the default implementations do anyway) and bump
+// the thread-local counters only while profiling is enabled. The
+// counters are plain TLS u64s: no locks, no allocation, safe to hit from
+// any thread at any point in the process lifetime, and TSan/ASan
+// intercept the underlying malloc/free as usual.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+inline void note_alloc(std::size_t n) {
+  if (ysmart::prof::enabled()) {
+    ++ysmart::prof::detail::t_counters.allocs;
+    ysmart::prof::detail::t_counters.alloc_bytes += n;
+  }
+}
+
+inline void note_free(void* p) {
+  if (p && ysmart::prof::enabled()) ++ysmart::prof::detail::t_counters.frees;
+}
+
+void* counted_alloc(std::size_t n) {
+  void* p = std::malloc(n ? n : 1);
+  if (p) note_alloc(n);
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n ? n : 1) != 0) return nullptr;
+  note_alloc(n);
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  void* p = counted_alloc(n);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) {
+  void* p = counted_alloc(n);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+
+void* operator new(std::size_t n, std::align_val_t align) {
+  void* p = counted_aligned_alloc(n, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t align) {
+  void* p = counted_aligned_alloc(n, static_cast<std::size_t>(align));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t n, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { note_free(p); std::free(p); }
+void operator delete[](void* p) noexcept { note_free(p); std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { note_free(p); std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { note_free(p); std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { note_free(p); std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { note_free(p); std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { note_free(p); std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { note_free(p); std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { note_free(p); std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { note_free(p); std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept { note_free(p); std::free(p); }
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept { note_free(p); std::free(p); }

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/prof_counters.h"
 #include "common/strings.h"
 
 namespace ysmart {
@@ -90,6 +91,7 @@ std::strong_ordering compare_int_double(std::int64_t i, double d) {
 }  // namespace
 
 std::strong_ordering Value::compare(const Value& other) const {
+  prof::count(prof::kCellCompares);
   const bool a_num = type() == ValueType::Int || type() == ValueType::Double;
   const bool b_num =
       other.type() == ValueType::Int || other.type() == ValueType::Double;
@@ -156,6 +158,7 @@ std::size_t Value::hash() const {
 }
 
 void Value::encode(std::string& out) const {
+  prof::count(prof::kCellsEncoded);
   switch (type()) {
     case ValueType::Null:
       out.push_back('N');
@@ -184,6 +187,7 @@ void Value::encode(std::string& out) const {
 }
 
 Value Value::decode(const std::string& in, std::size_t& pos) {
+  prof::count(prof::kCellsDecoded);
   // Every read is bounds-checked up front so truncated or corrupt input
   // fails loudly (with the offending offset) instead of reading past the
   // end of the buffer; `pos` is only advanced past validated bytes.

@@ -1,12 +1,14 @@
 #include "exec/aggregates.h"
 
 #include "common/error.h"
+#include "common/prof_counters.h"
 
 namespace ysmart {
 
 AggState::AggState(const AggCall& call) : call_(call) {}
 
 void AggState::add(const Value& v) {
+  prof::count(prof::kAggUpdates);
   if (!call_.star && v.is_null()) return;  // SQL: aggregates skip NULLs
   if (call_.distinct) {
     distinct_.insert(v);
@@ -80,6 +82,7 @@ void AggState::to_partial(Row& out) const {
 }
 
 void AggState::add_partial(std::span<const Value> in) {
+  prof::count(prof::kAggUpdates);
   check(!call_.distinct, "distinct aggregates have no fixed partial form");
   if (call_.func == "count") {
     count_ += in[0].as_int();

@@ -1,6 +1,7 @@
 #include "exec/expr_eval.h"
 
 #include "common/error.h"
+#include "common/prof_counters.h"
 
 namespace ysmart {
 
@@ -66,7 +67,10 @@ BoundExpr::Node BoundExpr::compile(const Expr& e, const Schema& schema) {
   return n;
 }
 
-Value BoundExpr::eval(const Row& row) const { return eval_node(root_, row); }
+Value BoundExpr::eval(const Row& row) const {
+  prof::count(prof::kRowsEvaluated);
+  return eval_node(root_, row);
+}
 
 Value BoundExpr::eval_node(const Node& n, const Row& row) {
   switch (n.kind) {

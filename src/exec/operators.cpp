@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/error.h"
+#include "common/prof_counters.h"
 #include "exec/aggregates.h"
 
 namespace ysmart {
@@ -12,6 +13,7 @@ namespace ysmart {
 std::vector<Row> filter_project(const std::vector<Row>& in,
                                 const BoundExpr* filter,
                                 const std::vector<BoundExpr>& projections) {
+  prof::count(prof::kOperatorRows, in.size());
   std::vector<Row> out;
   out.reserve(in.size());
   for (const auto& r : in) {
@@ -68,6 +70,7 @@ bool keys_equal(const GroupJoinSpec& spec, const Row& l, const Row& r) {
 std::vector<Row> join_group(const GroupJoinSpec& spec,
                             const std::vector<Row>& left,
                             const std::vector<Row>& right) {
+  prof::count(prof::kOperatorRows, left.size() + right.size());
   std::vector<Row> out;
   std::vector<char> right_matched(right.size(), 0);
   for (const auto& l : left) {
@@ -166,6 +169,7 @@ std::vector<Row> hash_join(const PlanNode& join, const std::vector<Row>& left,
 
 std::vector<Row> aggregate_rows(const PlanNode& agg,
                                 const std::vector<Row>& in) {
+  prof::count(prof::kOperatorRows, in.size());
   check(agg.kind == PlanKind::Agg, "aggregate_rows on non-Agg node");
   const Schema& child = agg.children[0]->output_schema;
   std::vector<std::size_t> group_idx;
@@ -224,6 +228,7 @@ std::vector<Row> aggregate_rows(const PlanNode& agg,
 }
 
 std::vector<Row> sort_rows(const PlanNode& sort, std::vector<Row> in) {
+  prof::count(prof::kOperatorRows, in.size());
   check(sort.kind == PlanKind::Sort, "sort_rows on non-Sort node");
   const Schema& child = sort.children[0]->output_schema;
   std::vector<BoundExpr> keys;

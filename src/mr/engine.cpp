@@ -392,8 +392,14 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
   {
     obs::ScopedSpan map_span(obs_, "map", "phase");
     map_span_id = map_span.id();
+    // Host-axis accounting only: the PhaseClock/TaskClock pair reads CPU
+    // clocks and thread-local counters, never sim quantities (see
+    // obs/profiler.h for the non-perturbation contract).
+    obs::PhaseClock map_prof(obs_ ? &obs_->profiler : nullptr, map_span_id,
+                             spec.name, "map");
     pool_->parallel_for(tasks.size(), /*grain=*/0,
                         [&](std::size_t begin, std::size_t end) {
+                          obs::TaskClock tc(map_prof.agg());
                           for (std::size_t i = begin; i < end; ++i)
                             results[i] = run_map_task(spec, tasks[i], num_reducers);
                         });
@@ -500,6 +506,9 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     // job's final output is the map phase's output (m.map.output_*);
     // reduce metrics stay zero — see the convention note in metrics.h.
     obs::ScopedSpan post_span(obs_, "post-job", "phase");
+    obs::PhaseClock post_prof(obs_ ? &obs_->profiler : nullptr, post_span.id(),
+                              spec.name, "post-job");
+    obs::TaskClock post_tc(post_prof.agg());
     auto out = std::make_shared<Table>(spec.outputs[0].schema);
     for (auto& r : results)
       for (auto& bucket : r.buckets)
@@ -527,8 +536,11 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
       static_cast<std::size_t>(num_reducers));
   {
     obs::ScopedSpan sort_span(obs_, "shuffle-sort", "phase");
+    obs::PhaseClock sort_prof(obs_ ? &obs_->profiler : nullptr, sort_span.id(),
+                              spec.name, "shuffle-sort");
     pool_->parallel_for(static_cast<std::size_t>(num_reducers), /*grain=*/1,
                         [&](std::size_t begin, std::size_t end) {
+                          obs::TaskClock tc(sort_prof.agg());
                           for (std::size_t p = begin; p < end; ++p)
                             merged[p] = merge_sorted_buckets(results, p);
                         });
@@ -540,9 +552,12 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
   {
     obs::ScopedSpan reduce_span(obs_, "reduce", "phase");
     reduce_span_id = reduce_span.id();
+    obs::PhaseClock reduce_prof(obs_ ? &obs_->profiler : nullptr,
+                                reduce_span_id, spec.name, "reduce");
     pool_->parallel_for(
         static_cast<std::size_t>(num_reducers), /*grain=*/1,
         [&](std::size_t begin, std::size_t end) {
+          obs::TaskClock tc(reduce_prof.agg());
           for (std::size_t p = begin; p < end; ++p)
             parts[p] = run_reduce_partition(spec, std::move(merged[p]), cfg_,
                                             cost_, reducer_scale,
@@ -654,6 +669,9 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
   // ---- write outputs: concatenate partition tables in partition order ----
   {
     obs::ScopedSpan post_span(obs_, "post-job", "phase");
+    obs::PhaseClock post_prof(obs_ ? &obs_->profiler : nullptr, post_span.id(),
+                              spec.name, "post-job");
+    obs::TaskClock post_tc(post_prof.agg());
     for (std::size_t i = 0; i < spec.outputs.size(); ++i) {
       auto t = std::make_shared<Table>(spec.outputs[i].schema);
       for (auto& pr : parts)

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/env.h"
+#include "common/prof_counters.h"
 
 namespace ysmart {
 
@@ -17,6 +18,7 @@ std::atomic<bool>& raw_flag() {
 
 /// Three-way (key, source) comparison via the cached normalized key.
 inline int raw_compare(const KeyValue& a, const KeyValue& b) {
+  prof::count(prof::kRawKeyCompares);
   const int c = norm_key_compare(a.norm_key, b.norm_key);
   if (c != 0) return c;
   return static_cast<int>(a.source) - static_cast<int>(b.source);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/normkey.h"
+#include "common/prof_counters.h"
 #include "mr/keyvalue.h"
 
 namespace ysmart {
@@ -56,7 +57,10 @@ std::vector<KeyValue> merge_sorted_runs(
 /// normalized keys (raw mode) or compare_rows (fallback). Equal keys
 /// encode identically, so the two agree.
 inline bool same_shuffle_key(const KeyValue& a, const KeyValue& b) {
-  if (raw_comparator_enabled()) return a.norm_key == b.norm_key;
+  if (raw_comparator_enabled()) {
+    prof::count(prof::kRawKeyCompares);
+    return a.norm_key == b.norm_key;
+  }
   return compare_rows(a.key, b.key) == 0;
 }
 

@@ -9,6 +9,7 @@
 //   events    structured event journal (leveled, categorized JSONL)
 //   progress  live per-wave/per-job task-completion state (\top, --progress)
 //   history   cross-query flight recorder (last N completed queries)
+//   profiler  host-axis CPU/allocation/dispatch accounting (\hotspots)
 //
 // Everything is off by default: an unattached engine carries a null
 // pointer and every instrumentation site reduces to a branch on it, so
@@ -24,6 +25,7 @@
 #include "obs/event_log.h"
 #include "obs/history.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/progress.h"
 #include "obs/task_samples.h"
 #include "obs/trace.h"
@@ -37,6 +39,7 @@ struct ObsContext {
   EventLog events;
   ProgressTracker progress;
   QueryHistoryStore history;
+  HostProfiler profiler;
 
   void clear() {
     tracer.clear();
@@ -45,6 +48,7 @@ struct ObsContext {
     events.clear();
     progress.clear();
     history.clear();
+    profiler.clear();  // keeps its enabled state, drops recorded phases
   }
 };
 

@@ -1,5 +1,7 @@
 #include "obs/progress.h"
 
+#include <cmath>
+
 #include "common/strings.h"
 
 namespace ysmart::obs {
@@ -207,7 +209,9 @@ ProgressSnapshot ProgressTracker::snapshot() const {
                       : done_task_s;
     eta += mean_job_s * static_cast<double>(not_started);
   }
-  snap.eta_s = eta;
+  // Defensive: a non-finite estimate (poisoned sim_seconds input) renders
+  // as "nan"/"inf" in \top; keep eta at -1 ("unknown") instead.
+  if (std::isfinite(eta)) snap.eta_s = eta;
   return snap;
 }
 

@@ -9,8 +9,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -324,6 +326,54 @@ TEST(Progress, TracksQueryLifecycleMonotonically) {
   EXPECT_FALSE(tasks_done_seen.empty());
 }
 
+TEST(Progress, EtaStaysFiniteWithZeroCostTasksAndRendersClean) {
+  // Every completed task reported 0 simulated seconds (a legal cost-model
+  // outcome for empty inputs). The mean-task estimate divides by the task
+  // count, not the seconds, so eta must come out 0 — never NaN/inf.
+  obs::ProgressTracker tracker;
+  tracker.begin_query("SELECT 1", "ysmart", 2);
+  tracker.begin_wave(0, 1);
+  tracker.begin_job("J1", /*map_only=*/false, 2, 1);
+  tracker.task_done(false, 0.0);
+  tracker.task_done(false, 0.0);
+  const obs::ProgressSnapshot s = tracker.snapshot();
+  ASSERT_TRUE(std::isfinite(s.eta_s)) << s.eta_s;
+  EXPECT_DOUBLE_EQ(s.eta_s, 0.0);
+  const std::string out = s.render();
+  EXPECT_EQ(out.find("nan"), std::string::npos) << out;
+  EXPECT_EQ(out.find("inf"), std::string::npos) << out;
+}
+
+TEST(Progress, EtaUnknownBeforeAnyTaskCompletes) {
+  // A started job with zero completed tasks has no basis for an estimate:
+  // eta stays at the "unknown" sentinel (-1) and the render shows neither
+  // an eta line nor NaN garbage.
+  obs::ProgressTracker tracker;
+  tracker.begin_query("SELECT 1", "ysmart", 1);
+  tracker.begin_wave(0, 1);
+  tracker.begin_job("J1", /*map_only=*/false, 4, 2);
+  const obs::ProgressSnapshot s = tracker.snapshot();
+  EXPECT_DOUBLE_EQ(s.eta_s, -1.0);
+  const std::string out = s.render();
+  EXPECT_EQ(out.find("eta"), std::string::npos) << out;
+  EXPECT_EQ(out.find("nan"), std::string::npos) << out;
+}
+
+TEST(Progress, EtaRejectsNonFiniteSimSecondsInput) {
+  // Defensive path: poisoned sim_seconds (inf) must not leak into eta_s
+  // or the rendered text — the snapshot keeps eta at "unknown" instead.
+  obs::ProgressTracker tracker;
+  tracker.begin_query("SELECT 1", "ysmart", 3);
+  tracker.begin_wave(0, 1);
+  tracker.begin_job("J1", /*map_only=*/false, 3, 1);
+  tracker.task_done(false, std::numeric_limits<double>::infinity());
+  const obs::ProgressSnapshot s = tracker.snapshot();
+  EXPECT_FALSE(std::isfinite(s.eta_s) && s.eta_s >= 0)
+      << "eta must not be a finite estimate built from inf input";
+  EXPECT_DOUBLE_EQ(s.eta_s, -1.0);
+  EXPECT_EQ(s.render().find("eta"), std::string::npos) << s.render();
+}
+
 TEST(Progress, RenderMentionsStateAndJobs) {
   obs::ProgressTracker tracker;
   EXPECT_NE(tracker.snapshot().render().find("no query"), std::string::npos);
@@ -491,6 +541,50 @@ TEST(HttpListener, ServesHandlerOnLoopback) {
       &error))
       << error;
   listener.stop();
+}
+
+TEST(HttpListener, RebindsTheSamePortImmediatelyAfterStop) {
+  // Serving a request leaves the accepted connection in TIME_WAIT on the
+  // listener side; SO_REUSEADDR must let the next start() take the same
+  // port right away (shell sessions toggle \serve on a fixed port).
+  HttpListener listener;
+  std::string error;
+  auto handler = [](const std::string&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  };
+  ASSERT_TRUE(listener.start(0, handler, &error)) << error;
+  const int port = listener.port();
+  ASSERT_GT(port, 0);
+  const std::string resp = http_get(port, "GET / HTTP/1.0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos);
+  listener.stop();
+
+  HttpListener second;
+  ASSERT_TRUE(second.start(port, handler, &error))
+      << "rebinding port " << port << " failed: " << error;
+  EXPECT_EQ(second.port(), port);
+  const std::string again = http_get(port, "GET / HTTP/1.0\r\n\r\n");
+  EXPECT_NE(again.find("HTTP/1.0 200"), std::string::npos);
+  second.stop();
+}
+
+TEST(HttpListener, BindFailureNamesTheAddressAndErrno) {
+  HttpListener first;
+  std::string error;
+  ASSERT_TRUE(first.start(
+      0, [](const std::string&) { return HttpResponse{}; }, &error))
+      << error;
+  // A second listener on the occupied port must fail with a message that
+  // names the address and the errno text, not just "bind failed".
+  HttpListener second;
+  EXPECT_FALSE(second.start(
+      first.port(), [](const std::string&) { return HttpResponse{}; },
+      &error));
+  EXPECT_NE(error.find("127.0.0.1"), std::string::npos) << error;
+  EXPECT_NE(error.find(std::to_string(first.port())), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("bind"), std::string::npos) << error;
+  first.stop();
 }
 
 // ---- write_text_file hardening ----

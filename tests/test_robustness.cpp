@@ -245,8 +245,8 @@ TEST(PoolInvariance, ResultsAndSimulatedSecondsIdenticalAcrossPoolSizes) {
   cfg.task_failure_rate = 0.2;  // exercise the retry RNG stream too
   cfg.contention.enabled = true;
 
-  JobMetrics m1, mn, m1o, mno;
-  std::shared_ptr<const Table> t1, tn, t1o, tno;
+  JobMetrics m1, mn, m1o, mno, m1p, mnp;
+  std::shared_ptr<const Table> t1, tn, t1o, tno, t1p, tnp;
   auto run_with = [&](ThreadPool& pool, JobMetrics& m,
                       std::shared_ptr<const Table>& t,
                       obs::ObsContext* obs = nullptr) {
@@ -259,15 +259,23 @@ TEST(PoolInvariance, ResultsAndSimulatedSecondsIdenticalAcrossPoolSizes) {
   };
 
   ThreadPool serial(1), wide(8);
-  obs::ObsContext o1, on;
+  obs::ObsContext o1, on, op1, opn;
+  // Two more contexts with the host profiler on: host-axis accounting
+  // (CPU clocks, allocation counters, dispatch counters) must be just as
+  // non-perturbing as tracing.
+  op1.profiler.set_enabled(true);
+  opn.profiler.set_enabled(true);
   run_with(serial, m1, t1);
   run_with(wide, mn, tn);
   run_with(serial, m1o, t1o, &o1);
   run_with(wide, mno, tno, &on);
+  run_with(serial, m1p, t1p, &op1);
+  run_with(wide, mnp, tnp, &opn);
 
   // Bit-identical simulated times and measured quantities — across pool
-  // sizes, and with tracing enabled vs disabled.
-  for (const JobMetrics* other : {&mn, &m1o, &mno}) {
+  // sizes, with tracing enabled vs disabled, and with the host profiler
+  // enabled on top.
+  for (const JobMetrics* other : {&mn, &m1o, &mno, &m1p, &mnp}) {
     EXPECT_DOUBLE_EQ(m1.map_time_s, other->map_time_s);
     EXPECT_DOUBLE_EQ(m1.reduce_time_s, other->reduce_time_s);
     EXPECT_DOUBLE_EQ(m1.sched_delay_s, other->sched_delay_s);
@@ -277,7 +285,7 @@ TEST(PoolInvariance, ResultsAndSimulatedSecondsIdenticalAcrossPoolSizes) {
     EXPECT_EQ(m1.reduce.output_records, other->reduce.output_records);
   }
   // Identical rows in identical order (not just as a multiset).
-  for (const auto* t : {&tn, &t1o, &tno}) {
+  for (const auto* t : {&tn, &t1o, &tno, &t1p, &tnp}) {
     ASSERT_EQ(t1->row_count(), (*t)->row_count());
     for (std::size_t i = 0; i < t1->rows().size(); ++i)
       EXPECT_EQ(compare_rows(t1->rows()[i], (*t)->rows()[i]),
@@ -289,6 +297,16 @@ TEST(PoolInvariance, ResultsAndSimulatedSecondsIdenticalAcrossPoolSizes) {
   EXPECT_TRUE(on.tracer.well_formed());
   EXPECT_EQ(o1.tracer.chrome_json(obs::TimeAxis::Simulated),
             on.tracer.chrome_json(obs::TimeAxis::Simulated));
+  // Profiler-on runs produce the same sim-axis trace as profiler-off
+  // runs, at both pool sizes — the profiler only ever touches the host
+  // axis.
+  EXPECT_EQ(o1.tracer.chrome_json(obs::TimeAxis::Simulated),
+            op1.tracer.chrome_json(obs::TimeAxis::Simulated));
+  EXPECT_EQ(o1.tracer.chrome_json(obs::TimeAxis::Simulated),
+            opn.tracer.chrome_json(obs::TimeAxis::Simulated));
+  // And it did actually record host phases while staying non-perturbing.
+  EXPECT_GT(op1.profiler.phase_count(), 0u);
+  EXPECT_GT(opn.profiler.phase_count(), 0u);
 
   // Task samples — recorded on the orchestrating thread in fixed task/
   // partition order — are pool-size invariant too: every per-task
@@ -320,6 +338,14 @@ TEST(PoolInvariance, ResultsAndSimulatedSecondsIdenticalAcrossPoolSizes) {
   for (std::size_t i = 0; i < s1.jobs[0].reduce_tasks.size(); ++i)
     same_sample(s1.jobs[0].reduce_tasks[i], sn.jobs[0].reduce_tasks[i]);
   EXPECT_EQ(obs::analyze_query(s1).json(), obs::analyze_query(sn).json());
+  // The analyzer consumes only sim-axis samples, so profiler-on runs
+  // yield byte-identical analyses too.
+  ASSERT_EQ(op1.samples.query_count(), 1u);
+  ASSERT_EQ(opn.samples.query_count(), 1u);
+  EXPECT_EQ(obs::analyze_query(s1).json(),
+            obs::analyze_query(op1.samples.last_query()).json());
+  EXPECT_EQ(obs::analyze_query(s1).json(),
+            obs::analyze_query(opn.samples.last_query()).json());
 
   // The event journal's sim-axis rendering is byte-identical across pool
   // sizes: sequence numbers, ordering, timestamps and fields all come
@@ -328,6 +354,10 @@ TEST(PoolInvariance, ResultsAndSimulatedSecondsIdenticalAcrossPoolSizes) {
   EXPECT_GT(o1.events.total_emitted(), 0u);
   EXPECT_EQ(o1.events.jsonl(obs::EventLog::IncludeWall::No),
             on.events.jsonl(obs::EventLog::IncludeWall::No));
+  EXPECT_EQ(o1.events.jsonl(obs::EventLog::IncludeWall::No),
+            op1.events.jsonl(obs::EventLog::IncludeWall::No));
+  EXPECT_EQ(o1.events.jsonl(obs::EventLog::IncludeWall::No),
+            opn.events.jsonl(obs::EventLog::IncludeWall::No));
 
   // Progress counters settle to the same completed state at both sizes.
   const obs::ProgressSnapshot p1 = o1.progress.snapshot();
@@ -394,6 +424,23 @@ TEST(PoolInvariance, FullObservabilityDoesNotPerturbQueryRuns) {
   ASSERT_TRUE(again.history.at(0, &rec2));
   EXPECT_EQ(rec.digest, rec2.digest);
   EXPECT_EQ(rec.analyzer_text, rec2.analyzer_text);
+
+  // Turning the host profiler on changes nothing on the simulated axis:
+  // same metrics, same journal, same digest — it only adds host phases.
+  obs::ObsContext profiled;
+  profiled.profiler.set_enabled(true);
+  const auto prof_run = run_query(&profiled);
+  EXPECT_DOUBLE_EQ(plain.metrics.total_time_s(),
+                   prof_run.metrics.total_time_s());
+  EXPECT_DOUBLE_EQ(plain.metrics.wall_time_s, prof_run.metrics.wall_time_s);
+  EXPECT_EQ(full.events.jsonl(obs::EventLog::IncludeWall::No),
+            profiled.events.jsonl(obs::EventLog::IncludeWall::No));
+  obs::QueryHistoryRecord rec3;
+  ASSERT_TRUE(profiled.history.at(0, &rec3));
+  EXPECT_EQ(rec.digest, rec3.digest);
+  EXPECT_EQ(rec.analyzer_text, rec3.analyzer_text);
+  EXPECT_GT(profiled.profiler.phase_count(), 0u);
+  EXPECT_GT(profiled.profiler.process_cpu_ns(), 0u);
 }
 
 // ---- raw comparator escape hatch: a pure host-side optimization ----

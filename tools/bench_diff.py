@@ -16,9 +16,14 @@ commit:
 Standard library only. Exit codes: 0 ok, 1 regression (or a failed/DNF
 record that was not failed in the baseline), 2 usage error.
 
+--update --only <run-id> refreshes just the matching baseline entries
+(run-id is bench, bench/query or bench/query/profile) and keeps every
+other committed entry, so one bench's change doesn't re-bless the rest.
+
 Usage:
     tools/bench_diff.py [--baseline PATH] [--tolerance FRAC]
-                        [--write-diff PATH] [--update] REPORT [REPORT...]
+                        [--write-diff PATH] [--update [--only RUN-ID]...]
+                        REPORT [REPORT...]
 """
 import argparse
 import json
@@ -88,8 +93,18 @@ def main(argv):
         "--update", action="store_true",
         help="regenerate the baseline from the given reports instead of comparing",
     )
+    ap.add_argument(
+        "--only", action="append", metavar="RUN-ID",
+        help="with --update: refresh only the runs matching RUN-ID "
+             "(bench, bench/query or bench/query/profile; repeatable); "
+             "other baseline entries are kept as-is",
+    )
     ap.add_argument("reports", nargs="+")
     args = ap.parse_args(argv[1:])
+
+    if args.only and not args.update:
+        print("error: --only requires --update", file=sys.stderr)
+        return 2
 
     fresh = load_reports(args.reports)
     if not fresh:
@@ -97,6 +112,31 @@ def main(argv):
         return 2
 
     if args.update:
+        if args.only:
+            # Surgical refresh: re-bless only the matching runs, keep the
+            # rest of the committed baseline untouched.
+            def matches(key):
+                name = "/".join(key)
+                return any(name == o or name.startswith(o + "/")
+                           for o in args.only)
+
+            picked = {k: v for k, v in fresh.items() if matches(k)}
+            if not picked:
+                print(f"error: --only {args.only} matched no run in the "
+                      "fresh reports", file=sys.stderr)
+                return 2
+            try:
+                with open(args.baseline) as f:
+                    merged = baseline_to_entries(json.load(f))
+            except FileNotFoundError:
+                print(f"error: --only needs an existing baseline to merge "
+                      f"into, and {args.baseline} was not found",
+                      file=sys.stderr)
+                return 2
+            merged.update(picked)
+            fresh = merged
+            print(f"refreshing {len(picked)} entrie(s) matching "
+                  f"{args.only}")
         with open(args.baseline, "w") as f:
             json.dump(entries_to_baseline(fresh), f, indent=2, sort_keys=True)
             f.write("\n")

@@ -94,6 +94,75 @@ class BenchDiffTest(unittest.TestCase):
         fresh = self.path("fresh.json", report("b", [("q1", "ysmart", 10.0, True)]))
         self.assertEqual(self.run_diff(base, [fresh]), 0)
 
+    def update_baseline(self, baseline_entries, fresh_reports, extra):
+        baseline = self.path(
+            "baseline.json", bench_diff.entries_to_baseline(baseline_entries)
+        )
+        argv = (["bench_diff.py", "--baseline", baseline, "--update"]
+                + extra + fresh_reports)
+        rc = bench_diff.main(argv)
+        with open(baseline) as f:
+            return rc, bench_diff.baseline_to_entries(json.load(f))
+
+    def test_update_only_refreshes_one_run_keeps_others(self):
+        base = {
+            ("b", "q1", "ysmart"): self.entry(10.0),
+            ("b", "q2", "ysmart"): self.entry(20.0),
+        }
+        # Fresh reports changed both runs, but only q1 is being blessed.
+        fresh = self.path(
+            "fresh.json",
+            report("b", [("q1", "ysmart", 11.0, False),
+                         ("q2", "ysmart", 99.0, False)]),
+        )
+        rc, updated = self.update_baseline(base, [fresh], ["--only", "b/q1"])
+        self.assertEqual(rc, 0)
+        self.assertEqual(updated[("b", "q1", "ysmart")]["sim_total_s"], 11.0)
+        self.assertEqual(updated[("b", "q2", "ysmart")]["sim_total_s"], 20.0)
+
+    def test_update_only_matches_component_prefix(self):
+        base = {
+            ("b", "q1", "ysmart"): self.entry(10.0),
+            ("b", "q1", "hive"): self.entry(30.0),
+            ("c", "q1", "ysmart"): self.entry(40.0),
+        }
+        fresh_b = self.path(
+            "fresh_b.json",
+            report("b", [("q1", "ysmart", 12.0, False),
+                         ("q1", "hive", 33.0, False)]),
+        )
+        fresh_c = self.path(
+            "fresh_c.json", report("c", [("q1", "ysmart", 44.0, False)])
+        )
+        rc, updated = self.update_baseline(
+            base, [fresh_b, fresh_c], ["--only", "b"]
+        )
+        self.assertEqual(rc, 0)
+        self.assertEqual(updated[("b", "q1", "ysmart")]["sim_total_s"], 12.0)
+        self.assertEqual(updated[("b", "q1", "hive")]["sim_total_s"], 33.0)
+        self.assertEqual(updated[("c", "q1", "ysmart")]["sim_total_s"], 40.0)
+        # "b/q" must NOT prefix-match "b/q1": components only.
+        rc, updated = self.update_baseline(
+            updated, [fresh_b, fresh_c], ["--only", "b/q"]
+        )
+        self.assertEqual(rc, 2)
+
+    def test_update_only_without_update_is_usage_error(self):
+        fresh = self.path("fresh.json", report("b", [("q1", "ysmart", 1.0, False)]))
+        rc = bench_diff.main(
+            ["bench_diff.py", "--baseline",
+             os.path.join(self.dir.name, "nope.json"),
+             "--only", "b/q1", fresh]
+        )
+        self.assertEqual(rc, 2)
+
+    def test_update_only_with_no_match_is_error(self):
+        base = {("b", "q1", "ysmart"): self.entry(10.0)}
+        fresh = self.path("fresh.json", report("b", [("q1", "ysmart", 11.0, False)]))
+        rc, updated = self.update_baseline(base, [fresh], ["--only", "zzz"])
+        self.assertEqual(rc, 2)
+        self.assertEqual(updated[("b", "q1", "ysmart")]["sim_total_s"], 10.0)
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Validate a bench JSON document against a schema file.
 
-Works for both bench document shapes: --json reports (records, schema
-bench/bench_schema.json) and --analyze analyses (analyses, schema
-bench/analyzer_schema.json). Standard library only (CI runs it without
-installing anything). Understands the subset of JSON Schema the schema
-files use: type, required, properties, items, enum, minimum.
+Works for every bench document shape: --json reports (records, schema
+bench/bench_schema.json), --analyze analyses (analyses, schema
+bench/analyzer_schema.json) and the committed regression baseline
+(benches, schema bench/baseline_schema.json). Standard library only (CI
+runs it without installing anything). Understands the subset of JSON
+Schema the schema files use: type, required, properties,
+additionalProperties (schema form), items, enum, minimum.
 
 Usage: tools/validate_bench_json.py SCHEMA REPORT [REPORT...]
 """
@@ -45,6 +47,15 @@ def validate(value, schema, path, errors):
         for key, sub in schema.get("properties", {}).items():
             if key in value:
                 validate(value[key], sub, f"{path}.{key}", errors)
+        # Schema-form additionalProperties: map-like objects whose keys
+        # are data (e.g. the baseline's bench names) validate every
+        # non-declared member against the given schema.
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            declared = schema.get("properties", {})
+            for key, sub_value in value.items():
+                if key not in declared:
+                    validate(sub_value, extra, f"{path}.{key}", errors)
     if isinstance(value, list) and "items" in schema:
         for i, item in enumerate(value):
             validate(item, schema["items"], f"{path}[{i}]", errors)
@@ -67,10 +78,14 @@ def main(argv):
                 continue
         errors = []
         validate(report, schema, "$", errors)
-        # The document's payload array (records or analyses, whichever the
-        # schema requires) must be non-empty: an empty one means the bench
-        # silently recorded nothing.
-        payload = "analyses" if "analyses" in schema.get("required", []) else "records"
+        # The document's payload container (whichever of the known payload
+        # keys the schema requires) must be non-empty: an empty one means
+        # the bench silently recorded nothing.
+        required = schema.get("required", [])
+        payload = next(
+            (k for k in ("analyses", "benches", "records") if k in required),
+            "records",
+        )
         if isinstance(report, dict) and not report.get(payload):
             errors.append(f"$.{payload}: empty — the bench recorded nothing")
         if errors:
