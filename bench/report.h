@@ -15,7 +15,12 @@
 // (obs/analyzer.h) over each run's task samples, embeds the analysis in
 // each --json record under "analyzer", and writes a standalone analyses
 // document (schema: bench/analyzer_schema.json) with the rendered text
-// reports. --progress (no value) prints live per-job completion lines on
+// reports. --cluster <path> attaches the context too and writes the
+// cluster-axis document (schema: bench/cluster_schema.json): one entry
+// per run with the full per-node rollup, shuffle traffic matrix and
+// slot-occupancy timeline (obs/cluster_view.h); when --trace is also
+// given, the per-node tracks appear in the Chrome trace as pid 3.
+// --progress (no value) prints live per-job completion lines on
 // stderr while runs execute; it only reads the progress tracker, so the
 // --json report's *simulated* values are identical with or without it
 // (pinned by the CI regression gate against BENCH_baseline.json).
@@ -44,6 +49,7 @@
 #include "common/json.h"
 #include "mr/metrics.h"
 #include "obs/analyzer.h"
+#include "obs/cluster_view.h"
 #include "obs/obs.h"
 
 namespace ysmart::bench {
@@ -74,6 +80,7 @@ class Report {
       if (std::strcmp(argv[i], "--json") == 0) json_path_ = argv[i + 1];
       if (std::strcmp(argv[i], "--trace") == 0) trace_path_ = argv[i + 1];
       if (std::strcmp(argv[i], "--analyze") == 0) analyze_path_ = argv[i + 1];
+      if (std::strcmp(argv[i], "--cluster") == 0) cluster_path_ = argv[i + 1];
       if (std::strcmp(argv[i], "--folded") == 0) folded_path_ = argv[i + 1];
     }
     // Host profiling rides along with any output that can carry it,
@@ -108,19 +115,22 @@ class Report {
 
   bool tracing() const { return !trace_path_.empty(); }
   bool analyzing() const { return !analyze_path_.empty(); }
+  bool clustering() const { return !cluster_path_.empty(); }
   bool progress() const { return progress_; }
   bool host_profiling() const { return host_profiling_; }
   /// The observability context runs attach, or null when neither tracing,
-  /// analyzing, host-profiling nor printing progress.
+  /// analyzing, clustering, host-profiling nor printing progress.
   obs::ObsContext* obs() {
-    return tracing() || analyzing() || progress_ || host_profiling_
+    return tracing() || analyzing() || clustering() || progress_ ||
+                   host_profiling_
                ? &obs_
                : nullptr;
   }
 
   void record(const std::string& query, const std::string& profile,
               const QueryMetrics& m, double wall_ms) {
-    if (json_path_.empty() && analyze_path_.empty()) return;
+    if (json_path_.empty() && analyze_path_.empty() && cluster_path_.empty())
+      return;
     Record r;
     r.query = query;
     r.profile = profile;
@@ -132,6 +142,18 @@ class Report {
           obs::analyze_query(obs_.samples.last_query());
       r.analyzer_json = a.json();
       r.analyzer_text = a.text();
+    }
+    if (clustering() && obs_.samples.query_count() > 0) {
+      const obs::ClusterReport cluster =
+          obs::build_cluster_view(obs_.samples.last_query());
+      r.cluster_json = cluster.json();
+      if (tracing()) {
+        // The tracer's sim cursor has already advanced past this run, so
+        // the run's simulated epoch is cursor minus its simulated span.
+        const double epoch = obs_.tracer.sim_now() - m.wall_time_s;
+        for (auto& ev : cluster.chrome_events(epoch))
+          trace_extra_events_.push_back(std::move(ev));
+      }
     }
     if (host_profiling_) {
       // Slice out just the phases (and process CPU) recorded since the
@@ -154,18 +176,47 @@ class Report {
       json_path_.clear();
     }
     if (!trace_path_.empty()) {
-      ok &= write_file(trace_path_, obs_.tracer.chrome_json(obs::TimeAxis::Both));
+      ok &= write_file(trace_path_,
+                       obs_.tracer.chrome_json(obs::TimeAxis::Both,
+                                               trace_extra_events_));
       trace_path_.clear();
     }
     if (!analyze_path_.empty()) {
       ok &= write_file(analyze_path_, analyses_json());
       analyze_path_.clear();
     }
+    if (!cluster_path_.empty()) {
+      ok &= write_file(cluster_path_, clusters_json());
+      cluster_path_.clear();
+    }
     if (!folded_path_.empty()) {
       ok &= write_file(folded_path_, obs_.profiler.folded_stacks(obs_.tracer));
       folded_path_.clear();
     }
     return ok;
+  }
+
+  /// The standalone cluster-axis document (bench/cluster_schema.json):
+  /// one entry per recorded run with the full cluster report (per-node
+  /// rollup, traffic matrix, slot timeline, doctor diagnosis).
+  std::string clusters_json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("schema_version", kSchemaVersion);
+    w.kv("bench", std::string_view(bench_));
+    w.kv("git_sha", std::string_view(git_sha()));
+    w.key("clusters").begin_array();
+    for (const auto& r : records_) {
+      if (r.cluster_json.empty()) continue;
+      w.begin_object();
+      w.kv("query", std::string_view(r.query));
+      w.kv("profile", std::string_view(r.profile));
+      w.key("cluster").raw(r.cluster_json);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.take();
   }
 
   /// The standalone analyses document (bench/analyzer_schema.json).
@@ -260,6 +311,7 @@ class Report {
     double wall_ms = 0;
     std::string analyzer_json;  // empty unless --analyze
     std::string analyzer_text;
+    std::string cluster_json;  // empty unless --cluster
     std::string host_json;  // empty unless host profiling is on
   };
 
@@ -271,7 +323,9 @@ class Report {
   std::string json_path_;
   std::string trace_path_;
   std::string analyze_path_;
+  std::string cluster_path_;
   std::string folded_path_;
+  std::vector<std::string> trace_extra_events_;
   bool progress_ = false;
   bool host_profiling_ = false;
   std::size_t host_phases_upto_ = 0;

@@ -12,6 +12,8 @@
 //   ysmart> \counters                   (session metrics registry as JSON)
 //   ysmart> \analyze SELECT ... ;       (run + query-doctor skew report)
 //   ysmart> \analyze                    (re-print analysis of last sampled run)
+//   ysmart> \cluster [sql]              (cluster doctor: per-node rollup of
+//                                        the last sampled run)
 //   ysmart> \history [k]               (flight recorder: last k queries)
 //   ysmart> \last [i]                   (re-print the i-th last analyze tree)
 //   ysmart> \top                        (progress/ETA state of the last run)
@@ -27,8 +29,8 @@
 // Environment: YSMART_TRACE=<file> / YSMART_METRICS=<file> record the
 // whole session and write a Chrome trace / metrics-registry JSON on exit;
 // YSMART_EVENTS=<file> streams the structured event journal (JSONL) as it
-// happens; YSMART_PROM_PORT=<port> serves /metrics, /healthz and
-// /history.json from startup; YSMART_HISTORY=<n> resizes the flight
+// happens; YSMART_PROM_PORT=<port> serves /metrics, /healthz,
+// /history.json and /cluster.json from startup; YSMART_HISTORY=<n> resizes the flight
 // recorder's retention ring (default 32); YSMART_PROFILE=off disables
 // the host-axis profiler (on by default; it only feeds \hotspots and
 // \flame, never simulated results).
@@ -48,6 +50,7 @@
 #include "data/clicks_gen.h"
 #include "data/tpch_gen.h"
 #include "obs/analyzer.h"
+#include "obs/cluster_view.h"
 #include "obs/obs.h"
 #include "obs/prom_export.h"
 #include "storage/csv.h"
@@ -88,8 +91,16 @@ HttpResponse serve_obs(const obs::ObsContext& ctx, const std::string& path) {
   if (path == "/healthz") return {200, "text/plain; charset=utf-8", "ok\n"};
   if (path == "/history.json")
     return {200, "application/json; charset=utf-8", ctx.history.json()};
+  if (path == "/cluster.json") {
+    // Full cluster view of the most recent sampled query; an empty
+    // object before anything has been sampled.
+    if (ctx.samples.query_count() == 0)
+      return {200, "application/json; charset=utf-8", "{}\n"};
+    return {200, "application/json; charset=utf-8",
+            obs::build_cluster_view(ctx.samples.last_query()).json()};
+  }
   return {404, "text/plain; charset=utf-8",
-          "try /metrics, /healthz or /history.json\n"};
+          "try /metrics, /healthz, /history.json or /cluster.json\n"};
 }
 
 void run_sql(Database& db, const TranslatorProfile& profile,
@@ -202,7 +213,8 @@ int main(int argc, char** argv) {
 
   std::cout << "ysmart interactive shell - tables: ";
   for (const auto& t : db.catalog().table_names()) std::cout << t << " ";
-  std::cout << "\ncommands: \\explain <sql>  \\analyze [sql]  \\profile "
+  std::cout << "\ncommands: \\explain <sql>  \\analyze [sql]  \\cluster "
+               "[sql]  \\profile "
                "<ysmart|hive|pig|mrshare|hand|on|off>  \\trace <file>  "
                "\\counters  \\history [k]  \\last [i]  \\top  \\hotspots  "
                "\\flame <file>  \\serve <port|file>  \\tables  \\quit\n";
@@ -345,7 +357,7 @@ int main(int argc, char** argv) {
         }
         continue;
       }
-      if (cmd == "analyze") {
+      if (cmd == "analyze" || cmd == "cluster") {
         std::string rest;
         std::getline(iss, rest);
         const auto c = rest.find_first_not_of(" \t");
@@ -359,8 +371,11 @@ int main(int argc, char** argv) {
           if (!had_obs) db.set_observer(nullptr);
         }
         if (sobs.ctx.samples.query_count() == 0) {
-          std::cout << "nothing sampled yet - \\analyze <sql>, or \\profile "
-                       "on and run a query\n";
+          std::cout << "nothing sampled yet - \\" << cmd
+                    << " <sql>, or \\profile on and run a query\n";
+        } else if (cmd == "cluster") {
+          std::cout
+              << obs::build_cluster_view(sobs.ctx.samples.last_query()).text();
         } else {
           std::cout << obs::analyze_query(sobs.ctx.samples.last_query()).text();
         }

@@ -124,6 +124,10 @@ void HttpListener::serve_loop() {
                       : HttpResponse{404, "text/plain; charset=utf-8",
                                      "no handler\n"};
     }
+    // An error response with no body would send Content-Length: 0 and a
+    // blank page; substitute the status line so curl users see something.
+    if (resp.body.empty() && resp.status != 200)
+      resp.body = strf("%d %s\n", resp.status, status_text(resp.status));
 
     std::string head =
         strf("HTTP/1.0 %d %s\r\nContent-Type: %s\r\n"

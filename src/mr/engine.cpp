@@ -154,6 +154,7 @@ struct PartitionResult {
 
   // Telemetry (filled only when the engine samples, i.e. obs attached).
   std::uint64_t key_groups = 0;
+  std::uint64_t shuffle_bytes_prescale = 0;  // pre-expansion shuffle sum
   std::vector<std::uint64_t> tag_records;  // records per map source tag
   obs::SpaceSaving hot_keys;               // reduce keys weighted by records
 };
@@ -174,6 +175,10 @@ PartitionResult run_reduce_partition(const MRJobSpec& spec,
   for (const auto& kv : part)
     w.shuffle_bytes_raw +=
         kv_byte_size(kv, spec.num_merged_jobs, spec.tag_encoding);
+  // The pre-expansion sum is the exact per-pair wire total the map side
+  // emitted into this partition — the cluster view's traffic-matrix
+  // column sum (exact uint64 arithmetic, no scaling).
+  res.shuffle_bytes_prescale = w.shuffle_bytes_raw;
   w.shuffle_bytes_raw = static_cast<std::uint64_t>(
       w.shuffle_bytes_raw * spec.intermediate_expansion);
   w.shuffle_bytes_wire =
@@ -342,6 +347,14 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
       std::max(1, static_cast<int>(cfg_.total_map_slots() * slot_share));
   const int reduce_slots =
       std::max(1, static_cast<int>(cfg_.total_reduce_slots() * slot_share));
+  if (obs_) {
+    // Cluster shape for the cluster view: node count plus the effective
+    // slot counts fed to the makespan (post-contention), so the slot
+    // timeline replays exactly what the schedule used.
+    js.worker_nodes = cfg_.worker_nodes;
+    js.map_slots = map_slots;
+    js.reduce_slots = reduce_slots;
+  }
   if (obs_ && m.sched_delay_s > 0) {
     // Scheduling delay exists only on the simulated axis; the span is
     // zero-width in wall-clock.
@@ -433,6 +446,7 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     if (obs_) {
       obs::TaskSample s;
       s.index = static_cast<int>(i);
+      s.node = tasks[i].scheduled_node;
       s.input_records = r.work.input_records;
       s.input_bytes = r.work.input_bytes;
       s.output_records = r.work.output_records;
@@ -440,6 +454,19 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
       s.sim_seconds = map_task_times.back();
       s.attempts = plan.attempts;
       s.local_read = r.work.local_read;
+      if (!map_only) {
+        // Exact per-(task, partition) wire bytes, summed from the
+        // still-alive sorted buckets before the shuffle consumes them:
+        // one row of the cluster view's traffic matrix (pre-expansion,
+        // so row sums match the reduce samples' prescale columns).
+        s.partition_bytes.reserve(r.buckets.size());
+        for (const auto& bucket : r.buckets) {
+          std::uint64_t pb = 0;
+          for (const auto& kv : bucket)
+            pb += kv_byte_size(kv, spec.num_merged_jobs, spec.tag_encoding);
+          s.partition_bytes.push_back(pb);
+        }
+      }
       js.map_tasks.push_back(std::move(s));
       obs_->progress.task_done(/*reduce_phase=*/false, map_task_times.back());
       // Fault-injection retries used to vanish into a counter; journal
@@ -581,12 +608,16 @@ JobMetrics Engine::run(const MRJobSpec& spec) {
     if (obs_) {
       obs::TaskSample s;
       s.index = p;
+      // Deterministic reduce-partition placement: partition p runs on
+      // node p % worker_nodes (the convention in task_samples.h).
+      s.node = p % cfg_.worker_nodes;
       s.input_records = pr.work.input_records;
       s.input_bytes = pr.work.shuffle_bytes_raw;
       s.output_records = pr.work.output_records;
       s.output_bytes = pr.work.output_bytes;
       s.shuffle_bytes_raw = pr.work.shuffle_bytes_raw;
       s.shuffle_bytes_wire = pr.work.shuffle_bytes_wire;
+      s.shuffle_bytes_prescale = pr.shuffle_bytes_prescale;
       s.sim_seconds = pr.task_seconds;
       s.attempts = plans[static_cast<std::size_t>(p)].attempts;
       s.key_groups = pr.key_groups;

@@ -235,6 +235,9 @@ AnalyzerReport analyze_query(const QueryTaskSamples& query,
   if (rep.diagnosis.empty())
     rep.diagnosis.push_back(
         "no significant skew, stragglers or hot keys detected");
+
+  // ---- cluster doctor: node-level rollups and diagnosis ----
+  rep.cluster = build_cluster_view(query);
   return rep;
 }
 
@@ -312,6 +315,7 @@ std::string AnalyzerReport::text() const {
   }
   out += "diagnosis:\n";
   for (const auto& d : diagnosis) out += "  - " + d + "\n";
+  out += cluster.text();
   return out;
 }
 
@@ -382,6 +386,8 @@ void AnalyzerReport::to_json(JsonWriter& w) const {
   w.key("diagnosis").begin_array();
   for (const auto& d : diagnosis) w.value(std::string_view(d));
   w.end_array();
+  w.key("cluster");
+  cluster.to_json(w, /*full=*/false);
   w.end_object();
 }
 

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/cluster_view.h"
 #include "obs/task_samples.h"
 
 namespace ysmart {
@@ -110,6 +111,11 @@ struct AnalyzerReport {
   double critical_path_s = 0;  // == QueryMetrics::wall_time_s
   double serial_total_s = 0;   // sum of job totals
   std::vector<std::string> diagnosis;
+  /// The cluster doctor (obs/cluster_view.h): per-node rollups and
+  /// node-level diagnosis. Embedded compactly in to_json() under
+  /// "cluster" (top nodes + aggregates; the full matrix/timeline shape
+  /// is the standalone --cluster document).
+  ClusterReport cluster;
 
   /// EXPLAIN ANALYZE-style indented report with the diagnosis section.
   std::string text() const;

@@ -1,8 +1,10 @@
 #include "obs/prom_export.h"
 
+#include <algorithm>
 #include <cctype>
 
 #include "common/strings.h"
+#include "obs/cluster_view.h"
 #include "obs/obs.h"
 
 namespace ysmart::obs {
@@ -30,6 +32,14 @@ void emit_gauge(std::string& out, const std::string& name,
   out += strf("# TYPE %s gauge\n", name.c_str());
   out += strf("%s %llu\n", name.c_str(),
               static_cast<unsigned long long>(value));
+}
+
+void emit_gauge_double(std::string& out, const std::string& name,
+                       std::string_view help, double value) {
+  out += strf("# HELP %s %.*s\n", name.c_str(),
+              static_cast<int>(help.size()), help.data());
+  out += strf("# TYPE %s gauge\n", name.c_str());
+  out += strf("%s %s\n", name.c_str(), fmt_double(value).c_str());
 }
 
 void emit_histogram(std::string& out, const std::string& name,
@@ -61,6 +71,20 @@ std::string prometheus_name(std::string_view dotted) {
     out += (std::isalnum(static_cast<unsigned char>(c)) || c == '_')
                ? c
                : '_';
+  return out;
+}
+
+std::string prom_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
   return out;
 }
 
@@ -99,6 +123,45 @@ std::string render_prometheus(const ObsContext& obs) {
                "queries whose execution completed", p.queries_finished);
   emit_gauge(out, "ysmart_query_inflight",
              "1 while a query DAG is executing", p.active ? 1 : 0);
+
+  // Cluster axis of the most recent sampled query: aggregates plus the
+  // top-k busiest nodes only — a per-node series on the 747-node
+  // Facebook preset would be a cardinality bomb for any scraper.
+  const QueryTaskSamples last = obs.samples.last_query();
+  if (!last.jobs.empty()) {
+    const ClusterReport cluster = build_cluster_view(last);
+    emit_gauge(out, "ysmart_cluster_worker_nodes",
+               "simulated nodes of the last sampled query's cluster",
+               static_cast<std::uint64_t>(cluster.worker_nodes));
+    emit_gauge_double(out, "ysmart_cluster_busy_seconds_cv",
+                      "per-node busy-seconds CV of the last sampled query",
+                      cluster.utilization_cv);
+    emit_gauge(out, "ysmart_cluster_underfilled_phases",
+               "phases with fewer runnable tasks than slots",
+               static_cast<std::uint64_t>(cluster.underfilled_phases));
+    emit_gauge(out, "ysmart_cluster_shuffle_bytes",
+               "pre-expansion shuffle bytes of the last sampled query",
+               cluster.traffic.total_bytes);
+    emit_gauge(out, "ysmart_cluster_shuffle_local_bytes",
+               "shuffle bytes whose map and reduce node coincide",
+               cluster.traffic.local_bytes);
+    std::vector<const NodeStats*> by_busy;
+    by_busy.reserve(cluster.nodes.size());
+    for (const auto& n : cluster.nodes) by_busy.push_back(&n);
+    std::sort(by_busy.begin(), by_busy.end(),
+              [](const NodeStats* a, const NodeStats* b) {
+                if (a->busy_s != b->busy_s) return a->busy_s > b->busy_s;
+                return a->node < b->node;
+              });
+    if (by_busy.size() > 8) by_busy.resize(8);
+    out += "# HELP ysmart_cluster_node_busy_seconds busiest nodes of the "
+           "last sampled query (top 8)\n";
+    out += "# TYPE ysmart_cluster_node_busy_seconds gauge\n";
+    for (const NodeStats* n : by_busy)
+      out += strf("ysmart_cluster_node_busy_seconds{node=\"%s\"} %s\n",
+                  prom_escape_label(strf("%d", n->node)).c_str(),
+                  fmt_double(n->busy_s).c_str());
+  }
   return out;
 }
 

@@ -32,6 +32,12 @@ struct ObsContext;
 /// non-[a-zA-Z0-9_] characters become underscores, `ysmart_` prefixed.
 std::string prometheus_name(std::string_view dotted);
 
+/// Label-value escaping per text format 0.0.4: backslash -> `\\`,
+/// double-quote -> `\"`, newline -> `\n`. Every label value rendered
+/// here goes through this (a job name with a quote must not break the
+/// exposition).
+std::string prom_escape_label(std::string_view value);
+
 /// Exposition of one registry's counters, gauges and histograms.
 std::string render_prometheus(const MetricsRegistry& registry);
 

@@ -26,6 +26,15 @@
 //    begins a new group; standalone Engine::run calls land in an
 //    implicit group 0. The DAG executor stamps each job with its
 //    dependency-wave index (-1 when no executor was involved).
+//  * Node identity (the cluster axis, obs/cluster_view.h): a map task
+//    runs on its round-robin TaskTracker node (task index %
+//    worker_nodes, the same assignment the engine uses for the locality
+//    check); a reduce *partition* p is assigned node p % worker_nodes.
+//    Reduce assignment is per simulated partition, not per modeled
+//    task, so on clusters with more nodes than Engine::kMaxSimReducers
+//    the reduce work concentrates on the first kMaxSimReducers nodes —
+//    a documented artifact of the partition cap, like the map-only
+//    output convention above.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +48,10 @@ namespace ysmart::obs {
 
 struct TaskSample {
   int index = 0;  // map task index, or simulated reduce partition index
+  /// Simulated node the task ran on (see the node-identity convention
+  /// above): map tasks carry their scheduled TaskTracker node, reduce
+  /// samples carry partition % worker_nodes.
+  int node = 0;
 
   std::uint64_t input_records = 0;
   std::uint64_t input_bytes = 0;  // map: block bytes; reduce: shuffle raw
@@ -48,6 +61,11 @@ struct TaskSample {
   // Reduce only: this partition's share of the map->reduce transfer.
   std::uint64_t shuffle_bytes_raw = 0;
   std::uint64_t shuffle_bytes_wire = 0;
+  /// Reduce only: the partition's shuffle bytes *before* the
+  /// intermediate-expansion scaling — the exact sum of the map-side
+  /// per-pair wire sizes, so it equals the matching column of the
+  /// map-task partition_bytes matrix below to the byte.
+  std::uint64_t shuffle_bytes_prescale = 0;
 
   /// Simulated seconds charged for the task, including every simulated
   /// failure attempt (matches the value fed to the makespan and to the
@@ -58,6 +76,11 @@ struct TaskSample {
   bool local_read = true;          // map only: block read from a local replica
   std::uint64_t key_groups = 0;    // reduce only: distinct keys in partition
   std::vector<std::uint64_t> tag_records;  // reduce only: records per source tag
+
+  /// Map only (reduce jobs): exact wire bytes this task emitted into each
+  /// simulated reduce partition, pre-expansion — the row of the shuffle
+  /// traffic matrix. Empty for map-only jobs and when not sampled.
+  std::vector<std::uint64_t> partition_bytes;
 };
 
 struct JobTaskSamples {
@@ -74,6 +97,14 @@ struct JobTaskSamples {
   /// Real modeled reduce task count (JobMetrics::reduce.tasks); the
   /// simulator executes reduce_tasks.size() partitions standing for it.
   std::uint64_t target_reduce_tasks = 0;
+
+  /// Cluster shape the job ran against: node count and the *effective*
+  /// (post-contention) slot counts the engine fed to the makespan —
+  /// what the cluster-view timeline replays and the underfilled-wave
+  /// check compares task counts to.
+  int worker_nodes = 1;
+  int map_slots = 1;
+  int reduce_slots = 1;
 
   /// Reduce key column names when the job's spec carries them (CMF fills
   /// them from the partition-key expressions); used to render hot keys.

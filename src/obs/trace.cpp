@@ -147,6 +147,11 @@ void emit_process_name(JsonWriter& w, int pid, const char* name) {
 }  // namespace
 
 std::string Tracer::chrome_json(TimeAxis axis) const {
+  return chrome_json(axis, {});
+}
+
+std::string Tracer::chrome_json(
+    TimeAxis axis, const std::vector<std::string>& extra_events) const {
   std::vector<Span> snap = spans();
   JsonWriter w;
   w.begin_object();
@@ -164,6 +169,11 @@ std::string Tracer::chrome_json(TimeAxis axis) const {
       emit_complete_event(w, s, 2, s.wall_start_us,
                           std::max(0.0, s.wall_dur_us));
   }
+  // Pre-encoded extra events (each string one event object) — the
+  // cluster view's per-node pid 3 tracks are simulated-axis data, so
+  // they ride with the simulated export.
+  if (want_sim)
+    for (const auto& ev : extra_events) w.raw(ev);
   w.end_array();
   w.end_object();
   return w.take();

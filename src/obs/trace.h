@@ -101,7 +101,12 @@ class Tracer {
   /// chrome://tracing and Perfetto load). Simulated and wall axes export
   /// as pid 1 ("simulated cluster") and pid 2 ("host wall-clock").
   /// TimeAxis::Simulated output is deterministic for a fixed seed.
+  /// `extra_events` appends pre-encoded trace_event objects (one per
+  /// string) after the span events — the cluster view's per-node tracks
+  /// (pid 3, ClusterReport::chrome_events) ride along this way.
   std::string chrome_json(TimeAxis axis = TimeAxis::Both) const;
+  std::string chrome_json(TimeAxis axis,
+                          const std::vector<std::string>& extra_events) const;
 
   /// EXPLAIN ANALYZE-style indented tree with both clocks per span.
   std::string analyze_tree() const;

@@ -2,6 +2,10 @@
 // placement, replication, byte accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "common/error.h"
 #include "storage/dfs.h"
 
@@ -92,6 +96,59 @@ TEST(Dfs, StoredBytesCountsReplicas) {
   Dfs dfs(4, 100, 2);
   dfs.write("/a", rows_of_bytes(4, 20));
   EXPECT_EQ(dfs.stored_bytes(), dfs.file("/a").total_bytes * 2);
+}
+
+TEST(Dfs, PlacementPropertyDistinctReplicasAndBalancedLoad) {
+  // Property sweep over (nodes, replication, file size): every block's
+  // replica set is distinct, and the round-robin cursor keeps per-node
+  // block counts balanced — max and min primary counts differ by at most
+  // one, and with replicas included the per-node copy counts differ by
+  // at most the effective replication (each node's copies are a window
+  // of `repl` consecutive cursor-residue counts, which themselves differ
+  // by at most one).
+  for (int nodes : {1, 2, 3, 5, 11, 747}) {
+    for (int repl : {1, 2, 3, 9}) {
+      Dfs dfs(nodes, 64, repl);
+      const int files = 3;
+      std::size_t total_blocks = 0;
+      std::vector<std::size_t> copies(static_cast<std::size_t>(nodes), 0);
+      std::vector<std::size_t> primaries(static_cast<std::size_t>(nodes), 0);
+      for (int f = 0; f < files; ++f) {
+        const auto& df = dfs.write("/f" + std::to_string(f),
+                                   rows_of_bytes(20 + 7 * f, 16));
+        for (const auto& b : df.blocks) {
+          const int eff_repl = std::min(repl, nodes);
+          ASSERT_EQ(b.replica_nodes.size(),
+                    static_cast<std::size_t>(eff_repl));
+          std::vector<int> sorted = b.replica_nodes;
+          std::sort(sorted.begin(), sorted.end());
+          EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                      sorted.end())
+              << "duplicate replica node (nodes=" << nodes
+              << " repl=" << repl << ")";
+          for (int n : b.replica_nodes) {
+            ASSERT_GE(n, 0);
+            ASSERT_LT(n, nodes);
+            ++copies[static_cast<std::size_t>(n)];
+          }
+          ++primaries[static_cast<std::size_t>(b.replica_nodes[0])];
+          ++total_blocks;
+        }
+      }
+      const auto [pmin, pmax] =
+          std::minmax_element(primaries.begin(), primaries.end());
+      EXPECT_LE(*pmax - *pmin, 1u)
+          << "primary placement skew (nodes=" << nodes << " repl=" << repl
+          << ")";
+      const std::size_t eff_repl =
+          static_cast<std::size_t>(std::min(repl, nodes));
+      const auto [cmin, cmax] =
+          std::minmax_element(copies.begin(), copies.end());
+      EXPECT_LE(*cmax - *cmin, eff_repl)
+          << "copy placement skew (nodes=" << nodes << " repl=" << repl
+          << " blocks=" << total_blocks << ")";
+    }
+  }
 }
 
 TEST(Dfs, InvalidConfigThrows) {

@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <memory>
@@ -447,6 +448,41 @@ TEST(PromExport, RendersTypesHelpAndCumulativeBuckets) {
   EXPECT_EQ(count_occurrences(text, "# TYPE ysmart_engine_jobs_run_total"), 1);
 }
 
+TEST(PromExport, EscapesLabelValuesPerTextFormat) {
+  // Text format 0.0.4: inside a label value, backslash, double-quote and
+  // newline must be escaped or the exposition line breaks apart.
+  EXPECT_EQ(obs::prom_escape_label("plain"), "plain");
+  EXPECT_EQ(obs::prom_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::prom_escape_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::prom_escape_label("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(obs::prom_escape_label("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(obs::prom_escape_label(""), "");
+}
+
+TEST(PromExport, ClusterGaugesExportAggregatesAndTopNodesOnly) {
+  auto db = fresh_db();
+  obs::ObsContext ctx;
+  db->set_observer(&ctx);
+  auto run = db->run(kSql, TranslatorProfile::ysmart());
+  ASSERT_FALSE(run.metrics.failed());
+  const std::string text = obs::render_prometheus(ctx);
+
+  EXPECT_NE(text.find("# TYPE ysmart_cluster_worker_nodes gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ysmart_cluster_busy_seconds_cv gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("ysmart_cluster_shuffle_bytes"), std::string::npos);
+  // Per-node series exist but stay bounded: at most the top 8 busiest
+  // nodes, each with a quoted node label (cardinality guard for the
+  // 747-node Facebook preset).
+  const int node_series =
+      count_occurrences(text, "ysmart_cluster_node_busy_seconds{node=\"");
+  EXPECT_GE(node_series, 1);
+  EXPECT_LE(node_series, 8);
+  EXPECT_EQ(count_occurrences(text, "# TYPE ysmart_cluster_node_busy_seconds"),
+            1);
+}
+
 TEST(PromExport, CountersReconcileWithQueryMetrics) {
   auto db = fresh_db();
   obs::ObsContext ctx;
@@ -540,6 +576,50 @@ TEST(HttpListener, ServesHandlerOnLoopback) {
       0, [](const std::string&) { return HttpResponse{200, "t", "x"}; },
       &error))
       << error;
+  listener.stop();
+}
+
+TEST(HttpListener, UnknownPathGets404WithAccurateContentLength) {
+  // The 404 path must be a complete HTTP response: status line, a
+  // Content-Length that matches the body byte count exactly, and a
+  // non-empty body even when the handler returns one empty (the
+  // listener substitutes the status text so clients see something).
+  HttpListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.start(
+      0,
+      [](const std::string& path) -> HttpResponse {
+        if (path == "/metrics")
+          return {200, "text/plain; charset=utf-8", "ysmart_up 1\n"};
+        if (path == "/empty404") return {404, "text/plain; charset=utf-8", ""};
+        return {404, "text/plain; charset=utf-8",
+                "try /metrics, /healthz, /history.json or /cluster.json\n"};
+      },
+      &error))
+      << error;
+
+  auto check_404 = [&](const std::string& path) -> std::string {
+    const std::string resp =
+        http_get(listener.port(), "GET " + path + " HTTP/1.0\r\n\r\n");
+    EXPECT_NE(resp.find("HTTP/1.0 404 Not Found"), std::string::npos) << resp;
+    const std::size_t cl = resp.find("Content-Length: ");
+    const std::size_t body_at = resp.find("\r\n\r\n");
+    if (cl == std::string::npos || body_at == std::string::npos) {
+      ADD_FAILURE() << "incomplete response: " << resp;
+      return {};
+    }
+    const std::size_t len =
+        std::stoull(resp.substr(cl + std::strlen("Content-Length: ")));
+    const std::string body = resp.substr(body_at + 4);
+    EXPECT_EQ(body.size(), len) << resp;
+    EXPECT_FALSE(body.empty()) << "404 body must not be empty";
+    return body;
+  };
+  const std::string hint = check_404("/definitely-not-served");
+  EXPECT_NE(hint.find("/metrics"), std::string::npos) << hint;
+  // Handler returned an empty 404 body: the listener fills in the
+  // status text instead of serving a blank page.
+  EXPECT_EQ(check_404("/empty404"), "404 Not Found\n");
   listener.stop();
 }
 

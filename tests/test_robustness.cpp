@@ -16,6 +16,7 @@
 #include "mr/engine.h"
 #include "mr/shuffle.h"
 #include "obs/analyzer.h"
+#include "obs/cluster_view.h"
 #include "obs/obs.h"
 #include "sql/parser.h"
 
@@ -346,6 +347,16 @@ TEST(PoolInvariance, ResultsAndSimulatedSecondsIdenticalAcrossPoolSizes) {
             obs::analyze_query(op1.samples.last_query()).json());
   EXPECT_EQ(obs::analyze_query(s1).json(),
             obs::analyze_query(opn.samples.last_query()).json());
+  // The cluster view — per-node rollups, shuffle traffic matrix, slot
+  // timeline — is a pure function of the same samples, so its full JSON
+  // is byte-identical across pool sizes and with the profiler on too.
+  const std::string cv1 = obs::build_cluster_view(s1).json();
+  EXPECT_EQ(cv1, obs::build_cluster_view(sn).json());
+  EXPECT_EQ(cv1, obs::build_cluster_view(op1.samples.last_query()).json());
+  EXPECT_EQ(cv1, obs::build_cluster_view(opn.samples.last_query()).json());
+  // Node samples follow the documented assignment at every pool size.
+  for (std::size_t i = 0; i < s1.jobs[0].map_tasks.size(); ++i)
+    EXPECT_EQ(s1.jobs[0].map_tasks[i].node, sn.jobs[0].map_tasks[i].node);
 
   // The event journal's sim-axis rendering is byte-identical across pool
   // sizes: sequence numbers, ordering, timestamps and fields all come
@@ -424,6 +435,11 @@ TEST(PoolInvariance, FullObservabilityDoesNotPerturbQueryRuns) {
   ASSERT_TRUE(again.history.at(0, &rec2));
   EXPECT_EQ(rec.digest, rec2.digest);
   EXPECT_EQ(rec.analyzer_text, rec2.analyzer_text);
+  // The cluster view built over a full DAG run is deterministic too —
+  // and building it is a pure read of the samples, so the metrics
+  // equality with the bare run above already proves it perturbs nothing.
+  EXPECT_EQ(obs::build_cluster_view(full.samples.last_query()).json(),
+            obs::build_cluster_view(again.samples.last_query()).json());
 
   // Turning the host profiler on changes nothing on the simulated axis:
   // same metrics, same journal, same digest — it only adds host phases.

@@ -146,8 +146,13 @@ def cmd_report(args):
     )
     anomalies = 0
     for key in keys:
-        series = [e["runs"][key] for e in entries if key in e.get("runs", {})]
+        present = [e for e in entries if key in e.get("runs", {})]
+        series = [e["runs"][key] for e in present]
         latest, prior = series[-1], series[:-1]
+        # A key absent from the newest entry means the bench stopped
+        # reporting it (renamed, removed, or the CI job failed); without
+        # this marker its last recorded values would read as current.
+        stale = key not in entries[-1].get("runs", {})
 
         sim_ratio, sim_moved = trend(
             latest.get("sim_total_s"),
@@ -172,13 +177,18 @@ def cmd_report(args):
             f"wall {fmt_ratio(wall_ratio)}, host cpu {fmt_ratio(cpu_ratio)}"
         )
         notes = []
+        if stale:
+            notes.append(
+                f"stale: last seen {present[-1].get('ts', '?')}"
+            )
         if latest.get("failed"):
             notes.append("FAILED")
         if sim_moved:
             # Simulated drift is real (deterministic axis) but judged by
             # the bench_diff gate, not here.
             notes.append("sim drift — gated by bench_diff")
-        if wall_flag or cpu_flag:
+        if (wall_flag or cpu_flag) and not stale:
+            # Stale runs have no new measurement to judge.
             anomalies += 1
             notes.append("host anomaly (informational)")
         if notes:

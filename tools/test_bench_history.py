@@ -171,6 +171,66 @@ class BenchHistoryTest(unittest.TestCase):
         self.assertEqual(rc, 0)
         self.assertIn("no history yet", out)
 
+    def test_report_single_entry_has_no_median_basis(self):
+        # One entry means no prior runs to take a median over: every
+        # ratio renders "n/a" and the report still exits 0.
+        self.seed_series([(50.0, 10.0)])
+        rc, out = self.run_report()
+        self.assertEqual(rc, 0)
+        self.assertIn("n/a vs median", out)
+        self.assertNotIn("anomaly", out)
+
+    def test_report_single_zero_sim_failed_entry_is_ok(self):
+        # Degenerate first entry (failed run, zero simulated seconds):
+        # nothing to divide by, nothing to crash on.
+        r = self.write_report(
+            "a.json",
+            report_doc("fig09", [("q21", "ysmart", 0.0, 0.0, True, None)]),
+        )
+        self.assertEqual(self.append([r], "2026-08-09T00:00:00"), 0)
+        rc, out = self.run_report()
+        self.assertEqual(rc, 0)
+        self.assertIn("n/a vs median", out)
+        self.assertIn("FAILED", out)
+
+    def test_report_empty_history_file_is_ok(self):
+        with open(self.history, "w") as f:
+            f.write("\n")
+        rc, out = self.run_report()
+        self.assertEqual(rc, 0)
+        self.assertIn("no history yet", out)
+
+    def test_report_marks_runs_missing_from_latest_entry_stale(self):
+        # fig10 appears in the first entry only; without the stale marker
+        # its old numbers would read as current, and a host anomaly in
+        # them would be counted as if measured today.
+        both = self.write_report(
+            "both.json",
+            report_doc(
+                "fig10",
+                [("qcsa", "ysmart", 20.0, 300.0, False, 90.0)],
+            ),
+        )
+        fig09 = self.write_report(
+            "fig09.json",
+            report_doc("fig09", [("q21", "ysmart", 10.0, 50.0, False, 10.0)]),
+        )
+        self.assertEqual(self.append([fig09, both], "2026-08-08T00:00:00"), 0)
+        self.assertEqual(self.append([fig09], "2026-08-09T00:00:00"), 0)
+        rc, out = self.run_report()
+        self.assertEqual(rc, 0)
+        fig10_line = next(
+            line for line in out.splitlines() if "fig10/qcsa/ysmart" in line
+        )
+        self.assertIn("stale: last seen 2026-08-08T00:00:00", fig10_line)
+        # The stale run contributes no "current" host anomaly.
+        self.assertNotIn("anomaly", out)
+        # The still-reported run is not marked stale.
+        fig09_line = next(
+            line for line in out.splitlines() if "fig09/q21/ysmart" in line
+        )
+        self.assertNotIn("stale", fig09_line)
+
     def test_report_flags_failed_run(self):
         r = self.write_report(
             "a.json",

@@ -83,7 +83,11 @@ def main(argv):
         # the bench silently recorded nothing.
         required = schema.get("required", [])
         payload = next(
-            (k for k in ("analyses", "benches", "records") if k in required),
+            (
+                k
+                for k in ("analyses", "benches", "clusters", "records")
+                if k in required
+            ),
             "records",
         )
         if isinstance(report, dict) and not report.get(payload):
