@@ -20,6 +20,12 @@
 // per run with the full per-node rollup, shuffle traffic matrix and
 // slot-occupancy timeline (obs/cluster_view.h); when --trace is also
 // given, the per-node tracks appear in the Chrome trace as pid 3.
+// --explain <path> attaches the context with the plan view enabled: each
+// run records a translate-time prediction, joins it against actuals
+// after execution, embeds the compact predicted-vs-actual report in each
+// --json record under "plan", and writes the standalone plan document
+// (schema: bench/plan_schema.json) with the full reports and the
+// session's q-error calibration ring.
 // --progress (no value) prints live per-job completion lines on
 // stderr while runs execute; it only reads the progress tracker, so the
 // --json report's *simulated* values are identical with or without it
@@ -82,7 +88,9 @@ class Report {
       if (std::strcmp(argv[i], "--analyze") == 0) analyze_path_ = argv[i + 1];
       if (std::strcmp(argv[i], "--cluster") == 0) cluster_path_ = argv[i + 1];
       if (std::strcmp(argv[i], "--folded") == 0) folded_path_ = argv[i + 1];
+      if (std::strcmp(argv[i], "--explain") == 0) explain_path_ = argv[i + 1];
     }
+    if (!explain_path_.empty()) obs_.plans.set_enabled(true);
     // Host profiling rides along with any output that can carry it,
     // unless YSMART_PROFILE=off (the escape hatch when the report's
     // wall_ms must exclude even the profiler's relaxed-atomic cost).
@@ -116,13 +124,15 @@ class Report {
   bool tracing() const { return !trace_path_.empty(); }
   bool analyzing() const { return !analyze_path_.empty(); }
   bool clustering() const { return !cluster_path_.empty(); }
+  bool explaining() const { return !explain_path_.empty(); }
   bool progress() const { return progress_; }
   bool host_profiling() const { return host_profiling_; }
   /// The observability context runs attach, or null when neither tracing,
-  /// analyzing, clustering, host-profiling nor printing progress.
+  /// analyzing, clustering, explaining, host-profiling nor printing
+  /// progress.
   obs::ObsContext* obs() {
-    return tracing() || analyzing() || clustering() || progress_ ||
-                   host_profiling_
+    return tracing() || analyzing() || clustering() || explaining() ||
+                   progress_ || host_profiling_
                ? &obs_
                : nullptr;
   }
@@ -154,6 +164,15 @@ class Report {
         for (auto& ev : cluster.chrome_events(epoch))
           trace_extra_events_.push_back(std::move(ev));
       }
+    }
+    if (explaining() && obs_.plans.report_count() > plan_reports_upto_) {
+      // The run just recorded produced the store's most recent report.
+      obs::PlanReport rep;
+      if (obs_.plans.last_report(&rep)) {
+        r.plan_json_full = rep.json(/*full=*/true);
+        r.plan_json_compact = rep.json(/*full=*/false);
+      }
+      plan_reports_upto_ = obs_.plans.report_count();
     }
     if (host_profiling_) {
       // Slice out just the phases (and process CPU) recorded since the
@@ -193,7 +212,35 @@ class Report {
       ok &= write_file(folded_path_, obs_.profiler.folded_stacks(obs_.tracer));
       folded_path_.clear();
     }
+    if (!explain_path_.empty()) {
+      ok &= write_file(explain_path_, plans_json());
+      explain_path_.clear();
+    }
     return ok;
+  }
+
+  /// The standalone plan-axis document (bench/plan_schema.json): one
+  /// entry per recorded run with the full predicted-vs-actual report,
+  /// plus the session-wide q-error calibration ring.
+  std::string plans_json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("schema_version", kSchemaVersion);
+    w.kv("bench", std::string_view(bench_));
+    w.kv("git_sha", std::string_view(git_sha()));
+    w.key("plans").begin_array();
+    for (const auto& r : records_) {
+      if (r.plan_json_full.empty()) continue;
+      w.begin_object();
+      w.kv("query", std::string_view(r.query));
+      w.kv("profile", std::string_view(r.profile));
+      w.key("plan").raw(r.plan_json_full);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("calibration").raw(calibration_json());
+    w.end_object();
+    return w.take();
   }
 
   /// The standalone cluster-axis document (bench/cluster_schema.json):
@@ -284,6 +331,7 @@ class Report {
       w.end_object();
       w.kv("wall_ms", r.wall_ms);
       if (!r.analyzer_json.empty()) w.key("analyzer").raw(r.analyzer_json);
+      if (!r.plan_json_compact.empty()) w.key("plan").raw(r.plan_json_compact);
       if (!r.host_json.empty()) w.key("host_phases").raw(r.host_json);
       w.key("per_job").begin_array();
       for (const auto& j : m.jobs) {
@@ -312,8 +360,14 @@ class Report {
     std::string analyzer_json;  // empty unless --analyze
     std::string analyzer_text;
     std::string cluster_json;  // empty unless --cluster
+    std::string plan_json_full;     // empty unless --explain
+    std::string plan_json_compact;  // embedded under the record's "plan"
     std::string host_json;  // empty unless host profiling is on
   };
+
+  std::string calibration_json() const {
+    return obs::calibration_json(obs_.plans.calibration());
+  }
 
   static bool write_file(const std::string& path, const std::string& body) {
     return write_text_file(path, body);
@@ -325,6 +379,8 @@ class Report {
   std::string analyze_path_;
   std::string cluster_path_;
   std::string folded_path_;
+  std::string explain_path_;
+  std::size_t plan_reports_upto_ = 0;
   std::vector<std::string> trace_extra_events_;
   bool progress_ = false;
   bool host_profiling_ = false;

@@ -3,7 +3,12 @@
 //
 //   $ ./build/examples/ysmart_shell
 //   ysmart> SELECT cid, count(*) AS n FROM clicks GROUP BY cid HAVING n > 100;
-//   ysmart> \explain SELECT ... ;
+//   ysmart> \explain SELECT ... ;      (plan view: run + predicted-vs-actual
+//                                        per-job EXPLAIN ANALYZE tree)
+//   ysmart> \explain                    (re-print the last plan report)
+//   ysmart> \whatif SELECT ... ;        (translate + run under the current
+//                                        profile AND the hive-style baseline,
+//                                        compare predictions and actuals)
 //   ysmart> \dot SELECT ... ;          (Graphviz job DAG on stdout)
 //   ysmart> \profile hive               (switch translator)
 //   ysmart> \profile on                 (per-query span tree + counters)
@@ -30,7 +35,8 @@
 // whole session and write a Chrome trace / metrics-registry JSON on exit;
 // YSMART_EVENTS=<file> streams the structured event journal (JSONL) as it
 // happens; YSMART_PROM_PORT=<port> serves /metrics, /healthz,
-// /history.json and /cluster.json from startup; YSMART_HISTORY=<n> resizes the flight
+// /history.json, /cluster.json and /plan.json from startup;
+// YSMART_HISTORY=<n> resizes the flight
 // recorder's retention ring (default 32); YSMART_PROFILE=off disables
 // the host-axis profiler (on by default; it only feeds \hotspots and
 // \flame, never simulated results).
@@ -51,7 +57,9 @@
 #include "data/tpch_gen.h"
 #include "obs/analyzer.h"
 #include "obs/cluster_view.h"
+#include "obs/http_endpoints.h"
 #include "obs/obs.h"
+#include "obs/plan_view.h"
 #include "obs/prom_export.h"
 #include "storage/csv.h"
 
@@ -81,35 +89,9 @@ void write_and_report(const std::string& path, const std::string& body) {
   if (write_text_file(path, body)) std::cout << "wrote " << path << "\n";
 }
 
-/// The exposition endpoints, shared by \serve <port> and the
-/// YSMART_PROM_PORT listener. Reads only internally-locked obs state, so
-/// serving from the listener thread is safe mid-session.
-HttpResponse serve_obs(const obs::ObsContext& ctx, const std::string& path) {
-  if (path == "/metrics")
-    return {200, "text/plain; version=0.0.4; charset=utf-8",
-            obs::render_prometheus(ctx)};
-  if (path == "/healthz") return {200, "text/plain; charset=utf-8", "ok\n"};
-  if (path == "/history.json")
-    return {200, "application/json; charset=utf-8", ctx.history.json()};
-  if (path == "/cluster.json") {
-    // Full cluster view of the most recent sampled query; an empty
-    // object before anything has been sampled.
-    if (ctx.samples.query_count() == 0)
-      return {200, "application/json; charset=utf-8", "{}\n"};
-    return {200, "application/json; charset=utf-8",
-            obs::build_cluster_view(ctx.samples.last_query()).json()};
-  }
-  return {404, "text/plain; charset=utf-8",
-          "try /metrics, /healthz, /history.json or /cluster.json\n"};
-}
-
 void run_sql(Database& db, const TranslatorProfile& profile,
-             const std::string& sql, bool explain_only, ShellObs& sobs) {
+             const std::string& sql, ShellObs& sobs) {
   try {
-    if (explain_only) {
-      std::cout << db.explain(sql, profile);
-      return;
-    }
     // Without a session-long trace, each profiled query gets a fresh
     // timeline (and fresh task samples) so the printed tree, a following
     // \trace, and a bare \analyze cover just that query. Counters always
@@ -141,6 +123,34 @@ void run_sql(Database& db, const TranslatorProfile& profile,
   } catch (const Error& e) {
     std::cout << e.what() << "\n";
   }
+}
+
+/// Run `sql` with the plan view recording and return the joined
+/// predicted-vs-actual report. Attaches the observer and enables the
+/// plan store for the duration, restoring both afterwards.
+bool run_with_plan(Database& db, const TranslatorProfile& prof,
+                   const std::string& sql, ShellObs& sobs,
+                   obs::PlanReport* out) {
+  const bool had_obs = db.observer() != nullptr;
+  const bool had_plans = sobs.ctx.plans.enabled();
+  if (!had_obs) db.set_observer(&sobs.ctx);
+  sobs.ctx.plans.set_enabled(true);
+  bool ok = false;
+  try {
+    auto run = db.run(sql, prof);
+    sobs.last_metrics = run.metrics;
+    if (run.metrics.failed())
+      std::cout << strf("query DNF after %d job(s): %s\n",
+                        run.metrics.job_count(),
+                        run.metrics.fail_reason().c_str());
+    else
+      ok = sobs.ctx.plans.last_report(out);
+  } catch (const Error& e) {
+    std::cout << e.what() << "\n";
+  }
+  sobs.ctx.plans.set_enabled(had_plans);
+  if (!had_obs) db.set_observer(nullptr);
+  return ok;
 }
 
 }  // namespace
@@ -186,7 +196,7 @@ int main(int argc, char** argv) {
     std::string err;
     if (listener.start(*prom_port_env,
                        [&sobs](const std::string& p) {
-                         return serve_obs(sobs.ctx, p);
+                         return obs::serve_obs_endpoint(sobs.ctx, p);
                        },
                        &err))
       std::cerr << "serving http://127.0.0.1:" << listener.port()
@@ -206,14 +216,15 @@ int main(int argc, char** argv) {
   };
 
   if (argc > 1) {
-    run_sql(db, profile, argv[1], /*explain_only=*/false, sobs);
+    run_sql(db, profile, argv[1], sobs);
     write_env_outputs();
     return 0;
   }
 
   std::cout << "ysmart interactive shell - tables: ";
   for (const auto& t : db.catalog().table_names()) std::cout << t << " ";
-  std::cout << "\ncommands: \\explain <sql>  \\analyze [sql]  \\cluster "
+  std::cout << "\ncommands: \\explain [sql]  \\whatif <sql>  \\analyze "
+               "[sql]  \\cluster "
                "[sql]  \\profile "
                "<ysmart|hive|pig|mrshare|hand|on|off>  \\trace <file>  "
                "\\counters  \\history [k]  \\last [i]  \\top  \\hotspots  "
@@ -342,7 +353,7 @@ int main(int argc, char** argv) {
             std::cout << "already serving on port " << listener.port() << "\n";
           else if (listener.start(*port,
                                   [&sobs](const std::string& p) {
-                                    return serve_obs(sobs.ctx, p);
+                                    return obs::serve_obs_endpoint(sobs.ctx, p);
                                   },
                                   &err))
             std::cout << "serving http://127.0.0.1:" << listener.port()
@@ -367,7 +378,7 @@ int main(int argc, char** argv) {
           // are retained even when profiling is off.
           const bool had_obs = db.observer() != nullptr;
           if (!had_obs) db.set_observer(&sobs.ctx);
-          run_sql(db, profile, rest, /*explain_only=*/false, sobs);
+          run_sql(db, profile, rest, sobs);
           if (!had_obs) db.set_observer(nullptr);
         }
         if (sobs.ctx.samples.query_count() == 0) {
@@ -384,7 +395,39 @@ int main(int argc, char** argv) {
       if (cmd == "explain") {
         std::string rest;
         std::getline(iss, rest);
-        run_sql(db, profile, rest, /*explain_only=*/true, sobs);
+        const auto c = rest.find_first_not_of(" \t");
+        rest = c == std::string::npos ? std::string() : rest.substr(c);
+        obs::PlanReport rep;
+        if (rest.empty()) {
+          if (sobs.ctx.plans.last_report(&rep))
+            std::cout << rep.text();
+          else
+            std::cout << "no plan recorded yet - \\explain <sql>\n";
+        } else if (run_with_plan(db, profile, rest, sobs, &rep)) {
+          std::cout << rep.text();
+        }
+        continue;
+      }
+      if (cmd == "whatif") {
+        std::string rest;
+        std::getline(iss, rest);
+        const auto c = rest.find_first_not_of(" \t");
+        rest = c == std::string::npos ? std::string() : rest.substr(c);
+        if (rest.empty()) {
+          std::cout << "usage: \\whatif <sql>  (run under the current "
+                       "profile and the one-op-one-job baseline, compare)\n";
+          continue;
+        }
+        // Merged strategy = the current profile; baseline = the
+        // one-operation-to-one-job translation (ysmart when the current
+        // profile already *is* a baseline-style one).
+        const TranslatorProfile baseline_profile =
+            profile.correlation_aware ? TranslatorProfile::hive()
+                                      : TranslatorProfile::ysmart();
+        obs::PlanReport merged, baseline;
+        if (run_with_plan(db, profile, rest, sobs, &merged) &&
+            run_with_plan(db, baseline_profile, rest, sobs, &baseline))
+          std::cout << obs::render_whatif(merged, baseline);
         continue;
       }
       if (cmd == "dot") {
@@ -436,7 +479,7 @@ int main(int argc, char** argv) {
       std::cout << "unknown command: " << cmd << "\n";
       continue;
     }
-    run_sql(db, profile, line, /*explain_only=*/false, sobs);
+    run_sql(db, profile, line, sobs);
   }
   write_env_outputs();
   return 0;

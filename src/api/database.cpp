@@ -51,6 +51,11 @@ TranslatedQuery Database::translate_query(const std::string& sql,
   const std::string scratch =
       "/scratch/" + profile.name + "/run" + std::to_string(run_counter_++);
   TranslatedQuery q = translate(p, profile, scratch, &stats_, obs_);
+  // Plan axis: record the prediction at translate time, before any
+  // execution, so the join against actuals is honest (obs/plan_view.h).
+  if (obs_ && obs_->plans.enabled())
+    obs_->plans.record_prediction(obs::predict_query(
+        q, profile, stats_, dfs_, engine_->cluster(), sql));
   translate_span.arg("jobs", static_cast<std::uint64_t>(q.jobs.size()));
   if (obs_)
     obs_->events.emit(obs::EventLevel::Info, obs::EventCategory::Translate,
@@ -143,6 +148,8 @@ QueryRunResult Database::run(const std::string& sql,
     rec.digest = report.diagnosis.empty() ? "ok" : report.diagnosis.front();
     rec.analyzer_text = report.text();
     obs_->history.add(std::move(rec));
+
+    if (obs_->plans.enabled()) obs_->plans.attach_actuals(qs, r.metrics);
   }
   return r;
 }

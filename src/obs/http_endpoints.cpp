@@ -1,0 +1,32 @@
+#include "obs/http_endpoints.h"
+
+#include "obs/cluster_view.h"
+#include "obs/obs.h"
+#include "obs/prom_export.h"
+
+namespace ysmart::obs {
+
+HttpResponse serve_obs_endpoint(const ObsContext& ctx,
+                                const std::string& path) {
+  if (path == "/metrics")
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(ctx)};
+  if (path == "/healthz") return {200, "text/plain; charset=utf-8", "ok\n"};
+  if (path == "/history.json")
+    return {200, "application/json; charset=utf-8", ctx.history.json()};
+  if (path == "/cluster.json") {
+    // Full cluster view of the most recent sampled query; an empty
+    // object before anything has been sampled.
+    if (ctx.samples.query_count() == 0)
+      return {200, "application/json; charset=utf-8", "{}\n"};
+    return {200, "application/json; charset=utf-8",
+            build_cluster_view(ctx.samples.last_query()).json()};
+  }
+  if (path == "/plan.json")
+    return {200, "application/json; charset=utf-8", ctx.plans.json()};
+  return {404, "text/plain; charset=utf-8",
+          "try /metrics, /healthz, /history.json, /cluster.json or "
+          "/plan.json\n"};
+}
+
+}  // namespace ysmart::obs

@@ -1,0 +1,28 @@
+// The observability HTTP endpoint handler, as a pure library function.
+//
+// ysmart_shell's \serve command and the YSMART_PROM_PORT listener both
+// route requests here; tests drive the same handler through a real
+// HttpListener (tests/test_obs_service.cpp) without duplicating the
+// routing table. Reads only internally-locked ObsContext state, so it is
+// safe on the listener thread while the main thread executes queries.
+//
+// Endpoints:
+//   /metrics       Prometheus exposition (obs/prom_export.h)
+//   /healthz       liveness probe: 200, body "ok\n"
+//   /history.json  flight recorder (QueryHistoryStore::json)
+//   /cluster.json  cluster view of the last sampled query ("{}\n" before)
+//   /plan.json     plan view: last EXPLAIN report + calibration ring
+// Anything else: 404 with a hint listing the routes above.
+#pragma once
+
+#include <string>
+
+#include "common/http_listener.h"
+
+namespace ysmart::obs {
+
+struct ObsContext;
+
+HttpResponse serve_obs_endpoint(const ObsContext& ctx, const std::string& path);
+
+}  // namespace ysmart::obs

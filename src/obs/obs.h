@@ -10,6 +10,7 @@
 //   progress  live per-wave/per-job task-completion state (\top, --progress)
 //   history   cross-query flight recorder (last N completed queries)
 //   profiler  host-axis CPU/allocation/dispatch accounting (\hotspots)
+//   plans     plan-axis predicted-vs-actual accountability (\explain)
 //
 // Everything is off by default: an unattached engine carries a null
 // pointer and every instrumentation site reduces to a branch on it, so
@@ -25,6 +26,7 @@
 #include "obs/event_log.h"
 #include "obs/history.h"
 #include "obs/metrics_registry.h"
+#include "obs/plan_view.h"
 #include "obs/profiler.h"
 #include "obs/progress.h"
 #include "obs/task_samples.h"
@@ -40,6 +42,7 @@ struct ObsContext {
   ProgressTracker progress;
   QueryHistoryStore history;
   HostProfiler profiler;
+  PlanViewStore plans;
 
   void clear() {
     tracer.clear();
@@ -49,6 +52,7 @@ struct ObsContext {
     progress.clear();
     history.clear();
     profiler.clear();  // keeps its enabled state, drops recorded phases
+    plans.clear();     // likewise: keeps enabled, drops predictions/reports
   }
 };
 

@@ -162,6 +162,39 @@ std::string render_prometheus(const ObsContext& obs) {
                   prom_escape_label(strf("%d", n->node)).c_str(),
                   fmt_double(n->busy_s).c_str());
   }
+
+  // Plan axis: q-error accountability of the predictor. Cardinality is
+  // bounded by construction — one series per fixed kPlanMetrics entry
+  // (last query + p50/p95 over the calibration ring), never per query.
+  const CalibrationSnapshot cal = obs.plans.calibration();
+  emit_counter(out, "ysmart_plan_reports_total",
+               "executed queries joined against a plan prediction",
+               cal.total_recorded);
+  if (!cal.samples.empty()) {
+    const CalibrationSample& last_cal = cal.samples.back();
+    out += "# HELP ysmart_plan_qerror q-error of the last joined query, "
+           "per predicted metric\n";
+    out += "# TYPE ysmart_plan_qerror gauge\n";
+    for (std::size_t i = 0; i < kPlanMetrics.size(); ++i)
+      if (i < last_cal.q.size())
+        out += strf("ysmart_plan_qerror{metric=\"%s\"} %s\n",
+                    prom_escape_label(kPlanMetrics[i]).c_str(),
+                    fmt_double(last_cal.q[i]).c_str());
+    out += "# HELP ysmart_plan_qerror_p50 median q-error over the "
+           "calibration ring, per predicted metric\n";
+    out += "# TYPE ysmart_plan_qerror_p50 gauge\n";
+    for (std::size_t i = 0; i < kPlanMetrics.size(); ++i)
+      out += strf("ysmart_plan_qerror_p50{metric=\"%s\"} %s\n",
+                  prom_escape_label(kPlanMetrics[i]).c_str(),
+                  fmt_double(cal.p50(i)).c_str());
+    out += "# HELP ysmart_plan_qerror_p95 p95 q-error over the "
+           "calibration ring, per predicted metric\n";
+    out += "# TYPE ysmart_plan_qerror_p95 gauge\n";
+    for (std::size_t i = 0; i < kPlanMetrics.size(); ++i)
+      out += strf("ysmart_plan_qerror_p95{metric=\"%s\"} %s\n",
+                  prom_escape_label(kPlanMetrics[i]).c_str(),
+                  fmt_double(cal.p95(i)).c_str());
+  }
   return out;
 }
 

@@ -51,6 +51,7 @@ TableStats StatsCatalog::estimate(const Table& t, std::size_t sample_rows) {
   TableStats stats;
   stats.rows = t.row_count();
   const std::size_t n = std::min(sample_rows, t.row_count());
+  stats.sampled = n < t.row_count();  // NDVs below may underestimate
   std::vector<std::unordered_set<std::size_t>> hashes(t.schema().size());
   for (std::size_t i = 0; i < n; ++i) {
     const Row& r = t.rows()[i];

@@ -25,6 +25,17 @@ struct TableStats {
   std::uint64_t rows = 0;
   /// Distinct non-NULL values per column (exact up to the sample cap).
   std::map<std::string, std::uint64_t> column_ndv;
+  /// True when estimate()'s `sample_rows` cap truncated the scan. Sampled
+  /// NDVs carry a systematic *underestimate* bias for high-cardinality
+  /// columns: a column whose distinct count exceeds the sample can show at
+  /// most `sample_rows` distinct values, and the linear extrapolation
+  /// below only corrects columns that nearly saturate the sample
+  /// (ratio > 0.95). Mid-cardinality columns (many distinct values, each
+  /// appearing a handful of times) keep their raw in-sample count, which
+  /// can undershoot the true NDV by up to rows/sample_rows. The plan view
+  /// (obs/plan_view.h) surfaces this flag so group-count predictions
+  /// derived from truncated scans are marked as sampled.
+  bool sampled = false;
 };
 
 class StatsCatalog {

@@ -17,6 +17,7 @@
 
 #include "common/schema.h"
 #include "mr/job.h"
+#include "plan/partition_key.h"
 #include "plan/plan.h"
 
 namespace ysmart {
@@ -142,6 +143,15 @@ struct TranslatedJob {
   /// 0 = engine default. SORT jobs force 1 (single-reducer total order,
   /// as Hive's ORDER BY did in the paper's era).
   int num_reduce_tasks = 0;
+
+  /// The key the job's map output is partitioned by (Section IV-A): the
+  /// first merged operation's PK — a common job's merged ops share it by
+  /// construction of the merging rules. Empty for map-only jobs, SORT
+  /// jobs (single-reducer total order) and global aggregations. Carried
+  /// for the plan-axis observability layer (obs/plan_view.h), which runs
+  /// StatsCatalog::estimate_groups over it to predict reduce-group
+  /// cardinality; execution never reads it.
+  PartitionKey partition_key;
 
   /// Kind::CombineAgg — a single-AGG job using map-side partial
   /// aggregation (the mapper emits (group key, partial states)); the

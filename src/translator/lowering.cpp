@@ -86,6 +86,9 @@ TranslatedJob lower_draft(const std::vector<PlanNode*>& ops,
     PlanNode* child = agg->children[0].get();
     job.kind = TranslatedJob::Kind::CombineAgg;
     job.combine_agg_node = agg;
+    // The combiner mapper keys its partial states by the full group-cols
+    // tuple (see cmf/common_job.cpp), regardless of any chosen subset PK.
+    job.partition_key = agg_full_partition_key(*agg);
     InputFile f;
     if (child->kind == PlanKind::Scan) {
       f.path = LoweringContext::table_path(child->table);
@@ -132,6 +135,16 @@ TranslatedJob lower_draft(const std::vector<PlanNode*>& ops,
   // ---- build stages; collect scan streams for sharing ----
   for (std::size_t i = 0; i < ops.size(); ++i) {
     PlanNode* op = ops[i];
+    // Record the job's partition key from the first keyed op: every merged
+    // op shares the PK by construction of the merging rules, so first wins.
+    if (job.partition_key.empty()) {
+      if (op->kind == PlanKind::Join) {
+        job.partition_key = join_partition_key(*op);
+      } else if (op->kind == PlanKind::Agg) {
+        job.partition_key =
+            use_chosen_pk ? ca.pk_of(op) : agg_full_partition_key(*op);
+      }
+    }
     Stage st;
     st.op = op;
     for (std::size_t c = 0; c < op->children.size(); ++c) {

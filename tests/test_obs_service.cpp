@@ -24,6 +24,7 @@
 #include "common/io.h"
 #include "common/strings.h"
 #include "mr/metrics.h"
+#include "obs/http_endpoints.h"
 #include "obs/obs.h"
 #include "obs/prom_export.h"
 #include "storage/table.h"
@@ -620,6 +621,46 @@ TEST(HttpListener, UnknownPathGets404WithAccurateContentLength) {
   // Handler returned an empty 404 body: the listener fills in the
   // status text instead of serving a blank page.
   EXPECT_EQ(check_404("/empty404"), "404 Not Found\n");
+  listener.stop();
+}
+
+TEST(HttpListener, ServesObsEndpointLibraryIncludingHealthzAndPlan) {
+  // The endpoint routing that the shell's \serve uses is a library
+  // function (obs/http_endpoints.h), so every surface — including
+  // /healthz and the plan axis — is testable through a real listener.
+  obs::ObsContext ctx;
+  HttpListener listener;
+  std::string error;
+  ASSERT_TRUE(listener.start(
+      0,
+      [&ctx](const std::string& path) {
+        return obs::serve_obs_endpoint(ctx, path);
+      },
+      &error))
+      << error;
+
+  const std::string health =
+      http_get(listener.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos) << health;
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos) << health;
+
+  // /plan.json serves the disabled-by-default plan store as valid JSON.
+  const std::string plan =
+      http_get(listener.port(), "GET /plan.json HTTP/1.0\r\n\r\n");
+  EXPECT_NE(plan.find("HTTP/1.0 200"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("application/json"), std::string::npos);
+  const std::size_t body_at = plan.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_TRUE(MiniJson(plan.substr(body_at + 4)).parse()) << plan;
+  EXPECT_NE(plan.find("\"enabled\":false"), std::string::npos);
+
+  // The 404 hint enumerates every served path, the plan axis included.
+  const std::string missing =
+      http_get(listener.port(), "GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+  for (const char* p : {"/metrics", "/healthz", "/history.json",
+                        "/cluster.json", "/plan.json"})
+    EXPECT_NE(missing.find(p), std::string::npos) << "hint missing " << p;
   listener.stop();
 }
 

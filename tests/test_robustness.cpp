@@ -358,6 +358,27 @@ TEST(PoolInvariance, ResultsAndSimulatedSecondsIdenticalAcrossPoolSizes) {
   for (std::size_t i = 0; i < s1.jobs[0].map_tasks.size(); ++i)
     EXPECT_EQ(s1.jobs[0].map_tasks[i].node, sn.jobs[0].map_tasks[i].node);
 
+  // The plan view is a pure join of (prediction, samples, metrics). Fed
+  // the pool-1 and pool-8 runs of the same job, the full report JSON —
+  // estimated-vs-actual rows, q-errors, ranked misses — comes out byte-
+  // identical: the plan axis cannot see host parallelism.
+  obs::QueryPrediction pv_pred;
+  pv_pred.profile = "engine";
+  obs::JobPrediction pv_job;
+  pv_job.name = "count";
+  pv_job.input_rows = 3000;
+  pv_job.reduce_records = 3000;
+  pv_job.reduce_groups = 97;
+  pv_pred.jobs.push_back(pv_job);
+  auto as_query = [](const JobMetrics& j) {
+    QueryMetrics q;
+    q.jobs.push_back(j);
+    q.wall_time_s = j.total_time_s();
+    return q;
+  };
+  EXPECT_EQ(obs::join_plan_actuals(pv_pred, s1, as_query(m1o)).json(),
+            obs::join_plan_actuals(pv_pred, sn, as_query(mno)).json());
+
   // The event journal's sim-axis rendering is byte-identical across pool
   // sizes: sequence numbers, ordering, timestamps and fields all come
   // from the orchestrating thread's deterministic schedule. (Retries are
@@ -400,6 +421,7 @@ TEST(PoolInvariance, FullObservabilityDoesNotPerturbQueryRuns) {
   std::size_t callbacks = 0;
   full.progress.set_callback(
       [&](const obs::ProgressSnapshot&) { ++callbacks; });
+  full.plans.set_enabled(true);  // plan view active: must perturb nothing
   const auto observed = run_query(&full);
 
   ASSERT_FALSE(plain.metrics.failed());
@@ -428,6 +450,7 @@ TEST(PoolInvariance, FullObservabilityDoesNotPerturbQueryRuns) {
   // And a second fully-observed run is deterministic on the sim axis:
   // identical journal (modulo wall clock) and identical analyzer digest.
   obs::ObsContext again;
+  again.plans.set_enabled(true);
   run_query(&again);
   EXPECT_EQ(full.events.jsonl(obs::EventLog::IncludeWall::No),
             again.events.jsonl(obs::EventLog::IncludeWall::No));
@@ -440,6 +463,18 @@ TEST(PoolInvariance, FullObservabilityDoesNotPerturbQueryRuns) {
   // equality with the bare run above already proves it perturbs nothing.
   EXPECT_EQ(obs::build_cluster_view(full.samples.last_query()).json(),
             obs::build_cluster_view(again.samples.last_query()).json());
+  // The plan view recorded and joined exactly one prediction per run —
+  // while the metrics equality with the bare run above already proved it
+  // perturbed nothing — and its full report JSON is deterministic.
+  ASSERT_EQ(full.plans.report_count(), 1u);
+  ASSERT_EQ(again.plans.report_count(), 1u);
+  EXPECT_EQ(full.plans.pending_count(), 0u);
+  obs::PlanReport plan1, plan2;
+  ASSERT_TRUE(full.plans.last_report(&plan1));
+  ASSERT_TRUE(again.plans.last_report(&plan2));
+  EXPECT_TRUE(plan1.executed);
+  EXPECT_DOUBLE_EQ(plan1.actual_wall_s, plain.metrics.wall_time_s);
+  EXPECT_EQ(plan1.json(/*full=*/true), plan2.json(/*full=*/true));
 
   // Turning the host profiler on changes nothing on the simulated axis:
   // same metrics, same journal, same digest — it only adds host phases.
@@ -531,6 +566,63 @@ TEST(RawComparatorModes, SimulationIsBitIdenticalWithFastPathOnAndOff) {
   EXPECT_EQ(on.analyzer, off.analyzer);
   EXPECT_EQ(on.digest, off.digest);
   EXPECT_EQ(on.journal, off.journal);
+}
+
+// ---- the what-if comparator on the Fig. 9 workload ----
+
+TEST(PlanView, WhatIfQ21ShowsBothStrategiesWithoutPerturbingSim) {
+  // Q21's "Left Outer Join1" sub-tree — the fig09 workload — translated
+  // and executed under both strategies (YSmart merge vs one-op-one-job)
+  // with the plan view on. The merged run's actual simulated seconds
+  // must equal a bare run byte-for-byte (enabling \whatif cannot move
+  // the fig09 baseline), and the rendered comparison names both.
+  TpchConfig small;
+  small.orders = 1500;
+  small.parts = 200;
+  small.customers = 150;
+  small.suppliers = 20;
+  const TpchData tpch = generate_tpch(small);
+  auto make_db = [&] {
+    auto db = std::make_unique<Database>(ClusterConfig::small_local(1.0));
+    db->create_table("lineitem", tpch.lineitem);
+    db->create_table("orders", tpch.orders);
+    db->create_table("supplier", tpch.supplier);
+    db->create_table("nation", tpch.nation);
+    return db;
+  };
+  const std::string sql = queries::q21_subtree().sql;
+  const auto bare = make_db()->run(sql, TranslatorProfile::ysmart());
+  ASSERT_FALSE(bare.metrics.failed());
+
+  auto run_plan = [&](const TranslatorProfile& prof, obs::PlanReport* rep) {
+    auto db = make_db();
+    obs::ObsContext ctx;
+    ctx.plans.set_enabled(true);
+    db->set_observer(&ctx);
+    auto run = db->run(sql, prof);
+    EXPECT_FALSE(run.metrics.failed());
+    EXPECT_TRUE(ctx.plans.last_report(rep));
+    return run;
+  };
+  obs::PlanReport merged, baseline;
+  const auto mrun = run_plan(TranslatorProfile::ysmart(), &merged);
+  run_plan(TranslatorProfile::hive(), &baseline);
+
+  EXPECT_EQ(mrun.metrics.wall_time_s, bare.metrics.wall_time_s);
+  EXPECT_EQ(mrun.metrics.total_time_s(), bare.metrics.total_time_s());
+  EXPECT_DOUBLE_EQ(merged.actual_wall_s, bare.metrics.wall_time_s);
+
+  ASSERT_TRUE(merged.executed);
+  ASSERT_TRUE(baseline.executed);
+  // The merge is real: fewer executed jobs than the per-operator plan.
+  EXPECT_LT(merged.actual_jobs, baseline.actual_jobs);
+
+  const std::string s = obs::render_whatif(merged, baseline);
+  EXPECT_NE(s.find("what-if: ysmart vs hive"), std::string::npos) << s;
+  EXPECT_NE(s.find("jobs (pred)"), std::string::npos);
+  EXPECT_NE(s.find("jobs (act)"), std::string::npos);
+  // Both sides executed, so the actual verdict line is present.
+  EXPECT_NE(s.find("actual:"), std::string::npos) << s;
 }
 
 // ---- explain output is deterministic ----

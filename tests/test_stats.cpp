@@ -94,6 +94,47 @@ TEST(Stats, UnknownColumnIsUnbounded) {
             std::numeric_limits<std::uint64_t>::max());
 }
 
+TEST(Stats, SampledFlagTracksScanTruncation) {
+  auto t = clicks_with_users(10, 500);
+  // Full scan: exact NDVs, not sampled.
+  EXPECT_FALSE(StatsCatalog::estimate(*t).sampled);
+  // Capped scan: flagged, and the saturating column (every sampled ts is
+  // distinct) extrapolates linearly back to the full row count.
+  TableStats s = StatsCatalog::estimate(*t, 100);
+  EXPECT_TRUE(s.sampled);
+  EXPECT_EQ(s.column_ndv["ts"], 500u);
+  // Low-cardinality columns stay exact even under the cap.
+  EXPECT_EQ(s.column_ndv["cid"], 3u);
+}
+
+TEST(Stats, EstimateGroupsSaturatesInsteadOfOverflowing) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  StatsCatalog cat;
+  TableStats a;
+  a.column_ndv["x"] = kMax / 2;
+  a.column_ndv["y"] = 3;
+  cat.put("t", std::move(a));
+  PartitionKey pk;
+  pk.parts.push_back(Lineage{ColumnId{"t", "x"}});
+  pk.parts.push_back(Lineage{ColumnId{"t", "y"}});
+  pk.columns = {"x", "y"};
+  // (kMax/2) * 3 would wrap; the estimate must clamp to unbounded.
+  EXPECT_EQ(cat.estimate_groups(pk), kMax);
+}
+
+TEST(Stats, EstimateGroupsZeroNdvCountsAsOne) {
+  StatsCatalog cat;
+  TableStats a;
+  a.column_ndv["x"] = 0;  // empty table: no distinct values observed
+  a.column_ndv["y"] = 5;
+  cat.put("t", std::move(a));
+  PartitionKey pk;
+  pk.parts.push_back(Lineage{ColumnId{"t", "x"}});
+  pk.parts.push_back(Lineage{ColumnId{"t", "y"}});
+  pk.columns = {"x", "y"};
+  EXPECT_EQ(cat.estimate_groups(pk), 5u);
+}
+
 // The extension at work: on a click stream with only 3 users, merging the
 // aggregation into the uid-keyed join would bottleneck the reduce phase
 // on 3 keys; cost-based selection falls back to the full grouping key

@@ -85,7 +85,7 @@ def main(argv):
         payload = next(
             (
                 k
-                for k in ("analyses", "benches", "clusters", "records")
+                for k in ("analyses", "benches", "clusters", "plans", "records")
                 if k in required
             ),
             "records",
