@@ -1,0 +1,216 @@
+// Execution-kernel micro-benchmark: host wall-clock of the map/reduce
+// inner loops — filter, project, grouped aggregate — with the columnar
+// batch kernels (exec/vector_kernels.h) against the per-row
+// std::variant-dispatch path (YSMART_VECTORIZED=off), at three input
+// sizes. Both modes run the identical operators from exec/operators.h
+// over identical rows, so the difference isolates the execution strategy
+// itself.
+//
+// The data and expressions are shaped like the fig09/fig10 map phases: a
+// TPC-H lineitem-style table, a two-conjunct numeric filter, an
+// arithmetic projection (price * (1 - discount)) and a grouped
+// sum/avg/count. --json records one schema-conforming record per
+// (size, mode); wall_ms is the phase total, and the simulated metrics
+// come from running an equivalent workload through the engine (identical
+// in both modes — the knob never touches the simulation, pinned by
+// tests/test_robustness.cpp).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common.h"
+#include "common/rng.h"
+#include "exec/batch.h"
+#include "exec/operators.h"
+#include "mr/engine.h"
+#include "plan/builder.h"
+#include "report.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+
+namespace {
+
+using namespace ysmart;
+using namespace ysmart::bench;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Schema lineitem_schema() {
+  Schema s;
+  s.add("l_orderkey", ValueType::Int);
+  s.add("l_suppkey", ValueType::Int);
+  s.add("l_quantity", ValueType::Double);
+  s.add("l_extendedprice", ValueType::Double);
+  s.add("l_discount", ValueType::Double);
+  s.add("l_tax", ValueType::Double);
+  return s;
+}
+
+std::vector<Row> make_rows(std::size_t n) {
+  Rng rng(20110607 + static_cast<std::uint64_t>(n));
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows.push_back(Row{
+        Value{static_cast<std::int64_t>(i / 4)},
+        Value{rng.uniform(0, 99)},
+        Value{1.0 + static_cast<double>(rng.uniform(0, 49))},
+        Value{901.0 + rng.uniform01() * 104'000.0},
+        Value{0.01 * static_cast<double>(rng.uniform(0, 10))},
+        Value{0.01 * static_cast<double>(rng.uniform(0, 8))},
+    });
+  }
+  return rows;
+}
+
+struct PhaseTimes {
+  double filter_ms = 0;
+  double project_ms = 0;
+  double agg_ms = 0;
+  std::size_t check = 0;  // keeps the work observable
+  double total_ms() const { return filter_ms + project_ms + agg_ms; }
+};
+
+/// Time one pass of the three operator shapes over `rows` under the
+/// currently-set execution mode.
+PhaseTimes time_phases(const std::vector<Row>& rows, const BoundExpr& filter,
+                       const std::vector<BoundExpr>& projections,
+                       const PlanNode& agg) {
+  PhaseTimes t;
+  double t0 = now_ms();
+  const auto filtered = filter_project(rows, &filter, {});
+  t.filter_ms = now_ms() - t0;
+
+  t0 = now_ms();
+  const auto projected = filter_project(rows, &filter, projections);
+  t.project_ms = now_ms() - t0;
+
+  t0 = now_ms();
+  const auto grouped = aggregate_rows(agg, rows);
+  t.agg_ms = now_ms() - t0;
+
+  t.check = filtered.size() + projected.size() + grouped.size();
+  return t;
+}
+
+/// Run an equivalent filter + grouped-sum job through the engine so the
+/// JSON record carries honest simulated metrics (mode-independent).
+QueryMetrics engine_metrics(const std::vector<Row>& rows) {
+  auto t = std::make_shared<Table>(lineitem_schema());
+  for (const Row& r : rows) t->append(r);
+
+  auto cfg = ClusterConfig::small_local(1.0);
+  Dfs dfs(cfg.worker_nodes, cfg.scaled_block_bytes(), cfg.replication);
+  dfs.write("/in", t);
+  Engine engine(dfs, cfg);
+
+  const Schema in = lineitem_schema();
+  BoundExpr filter(parse_expression("l_quantity < 24.0 and l_discount >= 0.02"),
+                   in);
+  BoundExpr revenue(
+      parse_expression("l_extendedprice * (1 - l_discount)"), in);
+
+  MRJobSpec spec;
+  spec.name = "exec-agg";
+  spec.inputs = {{"/in", 0}};
+  Schema out;
+  out.add("l_suppkey", ValueType::Int);
+  out.add("revenue", ValueType::Double);
+  spec.outputs = {{"/out", out}};
+  struct M final : Mapper {
+    const BoundExpr* filter;
+    const BoundExpr* revenue;
+    void map(const Row& r, int, MapEmitter& e) override {
+      if (!is_true(filter->eval(r))) return;
+      e.emit(Row{r[1]}, Row{revenue->eval(r)});
+    }
+  };
+  struct R final : Reducer {
+    void reduce(const Row& k, std::span<const KeyValue> v,
+                ReduceEmitter& e) override {
+      double sum = 0;
+      for (const auto& kv : v) sum += kv.value[0].numeric();
+      e.emit(Row{k[0], Value{sum}});
+    }
+  };
+  spec.make_mapper = [&] {
+    auto m = std::make_unique<M>();
+    m->filter = &filter;
+    m->revenue = &revenue;
+    return m;
+  };
+  spec.make_reducer = [] { return std::make_unique<R>(); };
+
+  QueryMetrics m;
+  m.jobs.push_back(engine.run(spec));
+  m.wall_time_s = m.total_time_s();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Report report("bench_exec", argc, argv);
+  print_header("Exec kernels: columnar batches vs per-row variant dispatch");
+
+  constexpr std::size_t kSizes[] = {50'000, 200'000, 800'000};
+  constexpr int kReps = 3;  // best-of to damp scheduler noise
+
+  const Schema schema = lineitem_schema();
+  BoundExpr filter(parse_expression("l_quantity < 24.0 and l_discount >= 0.02"),
+                   schema);
+  const std::vector<BoundExpr> projections = bind_all(
+      {parse_expression("l_extendedprice * (1 - l_discount)"),
+       parse_expression("l_orderkey + l_suppkey"),
+       parse_expression("l_quantity * (1 + l_tax)")},
+      schema);
+  Catalog catalog;
+  catalog.register_table("lineitem", schema);
+  const PlanPtr agg_plan = plan_query(
+      "SELECT l_suppkey, count(*) AS n, sum(l_extendedprice) AS s, "
+      "avg(l_quantity) AS q FROM lineitem GROUP BY l_suppkey",
+      catalog);
+  const PlanNode* agg = agg_plan.get();
+  // plan_query may wrap the Agg in a projection-only SP; unwrap to bench
+  // the aggregation operator itself.
+  while (agg->kind != PlanKind::Agg) agg = agg->children.at(0).get();
+
+  const bool saved = vectorized_enabled();
+  std::printf("%10s %5s %10s %10s %10s %10s\n", "rows", "mode", "filter ms",
+              "project ms", "agg ms", "total ms");
+  for (const std::size_t n : kSizes) {
+    const auto rows = make_rows(n);
+    const QueryMetrics sim = engine_metrics(rows);
+    PhaseTimes best[2];
+    for (const bool vec : {true, false}) {
+      set_vectorized_enabled(vec);
+      PhaseTimes& t = best[vec ? 0 : 1];
+      for (int rep = 0; rep < kReps; ++rep) {
+        const PhaseTimes cur = time_phases(rows, filter, projections, *agg);
+        if (rep == 0 || cur.total_ms() < t.total_ms()) t = cur;
+      }
+      std::printf("%10zu %5s %10.2f %10.2f %10.2f %10.2f\n", n,
+                  vec ? "vec" : "row", t.filter_ms, t.project_ms, t.agg_ms,
+                  t.total_ms());
+      report.record("exec-" + std::to_string(n), vec ? "vec" : "row", sim,
+                    t.total_ms());
+    }
+    if (best[0].check != best[1].check)
+      std::printf("WARNING: mode outputs disagree (%zu vs %zu)\n",
+                  best[0].check, best[1].check);
+    std::printf("%10s %5s speedup vec vs row: %.2fx (filter %.2fx, project "
+                "%.2fx, agg %.2fx)\n",
+                "", "", best[1].total_ms() / best[0].total_ms(),
+                best[1].filter_ms / best[0].filter_ms,
+                best[1].project_ms / best[0].project_ms,
+                best[1].agg_ms / best[0].agg_ms);
+  }
+  set_vectorized_enabled(saved);
+  return 0;
+}

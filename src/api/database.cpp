@@ -20,6 +20,10 @@ Database::Database(ClusterConfig cfg)
     : dfs_(cfg.worker_nodes, cfg.scaled_block_bytes(), cfg.replication),
       engine_(std::make_unique<Engine>(dfs_, cfg)) {}
 
+Database::Database(ClusterConfig cfg, ThreadPool* pool)
+    : dfs_(cfg.worker_nodes, cfg.scaled_block_bytes(), cfg.replication),
+      engine_(std::make_unique<Engine>(dfs_, cfg, pool)) {}
+
 void Database::create_table(const std::string& name,
                             std::shared_ptr<const Table> data) {
   check(data != nullptr, "create_table: null data");

@@ -35,6 +35,11 @@ class Database {
  public:
   explicit Database(ClusterConfig cfg);
 
+  /// As above, but simulate on an explicit thread pool instead of the
+  /// process-wide shared one (tests use this to pin the host-parallelism
+  /// degree; pool size never affects simulated results).
+  Database(ClusterConfig cfg, ThreadPool* pool);
+
   /// Register `data` as base table `name` (stored into the DFS).
   void create_table(const std::string& name, std::shared_ptr<const Table> data);
 

@@ -10,8 +10,10 @@
 #include "common/normkey.h"
 #include "common/strings.h"
 #include "exec/aggregates.h"
+#include "exec/batch.h"
 #include "exec/expr_eval.h"
 #include "exec/operators.h"
+#include "exec/vector_kernels.h"
 
 namespace ysmart {
 
@@ -100,8 +102,79 @@ class CommonMapper final : public Mapper {
     }
   }
 
+  bool supports_batches() const override { return true; }
+
+  // Emission-major batch version of map(). The per-record path emits
+  // record-major; flipping the nesting is shuffle-invisible because every
+  // emission has a unique source tag and the map-side sort orders by
+  // (key, source, seq) — within one (key, source) run the records keep
+  // their relative order either way.
+  void map_batch(ColumnBatch& batch, int input_tag, MapEmitter& out) override {
+    const std::size_t n = batch.rows();
+    for (int ei : cj_->emissions_by_file[static_cast<std::size_t>(input_tag)]) {
+      const CompiledEmission& e = cj_->emissions[static_cast<std::size_t>(ei)];
+      if (e.consumers.empty()) continue;  // nothing is ever visible
+      // Consumer visibility over the whole batch. The scalar path
+      // evaluates every consumer filter for every record (no
+      // short-circuit), so evaluating each filter over the full batch
+      // counts kRowsEvaluated identically.
+      exclude_.assign(n, 0);
+      std::uint32_t full_mask = 0;
+      for (const auto& c : e.consumers) {
+        full_mask |= (1u << c.bit);
+        if (!c.has_filter) continue;  // visible to this consumer everywhere
+        BatchVector fv;
+        if (eval_expr_batch(c.filter, batch, fv)) {
+          for (std::size_t k = 0; k < n; ++k)
+            if (!fv.truthy(k)) exclude_[k] |= (1u << c.bit);
+        } else {
+          for (std::size_t k = 0; k < n; ++k)
+            if (!is_true(c.filter.eval(batch.source_row(k))))
+              exclude_[k] |= (1u << c.bit);
+        }
+      }
+      // A record is emitted iff at least one consumer sees it.
+      sel_.clear();
+      for (std::size_t k = 0; k < n; ++k)
+        if (exclude_[k] != full_mask)
+          sel_.push_back(static_cast<std::uint32_t>(k));
+      if (sel_.empty()) continue;
+      // Key/value expressions run only over the visible records, exactly
+      // like the scalar path.
+      ColumnBatch selected = batch.select(sel_);
+      key_cols_.resize(e.keys.size());
+      key_ok_.resize(e.keys.size());
+      for (std::size_t j = 0; j < e.keys.size(); ++j)
+        key_ok_[j] = eval_expr_batch(e.keys[j], selected, key_cols_[j]);
+      val_cols_.resize(e.values.size());
+      val_ok_.resize(e.values.size());
+      for (std::size_t j = 0; j < e.values.size(); ++j)
+        val_ok_[j] = eval_expr_batch(e.values[j], selected, val_cols_[j]);
+      for (std::size_t r = 0; r < selected.rows(); ++r) {
+        Row key;
+        key.reserve(e.keys.size());
+        for (std::size_t j = 0; j < e.keys.size(); ++j)
+          key.push_back(key_ok_[j] ? key_cols_[j].value_at(r)
+                                   : e.keys[j].eval(selected.source_row(r)));
+        Row value;
+        value.reserve(e.values.size());
+        for (std::size_t j = 0; j < e.values.size(); ++j)
+          value.push_back(val_ok_[j]
+                              ? val_cols_[j].value_at(r)
+                              : e.values[j].eval(selected.source_row(r)));
+        out.emit(std::move(key), std::move(value),
+                 static_cast<std::uint8_t>(e.source_tag), exclude_[sel_[r]]);
+      }
+    }
+  }
+
  private:
   std::shared_ptr<const CompiledJob> cj_;
+  // Per-batch scratch (a mapper instance serves one map task, serially).
+  std::vector<std::uint32_t> exclude_;
+  std::vector<std::uint32_t> sel_;
+  std::vector<BatchVector> key_cols_, val_cols_;
+  std::vector<char> key_ok_, val_ok_;
 };
 
 /// Map-only SELECTION-PROJECTION job: emits the projected row as the
@@ -123,8 +196,54 @@ class SpMapper final : public Mapper {
     out.emit(Row{}, std::move(value));
   }
 
+  bool supports_batches() const override { return true; }
+
+  // Map-only output is written in emit order, so this stays record-major.
+  void map_batch(ColumnBatch& batch, int /*input_tag*/,
+                 MapEmitter& out) override {
+    const CompiledStage& st = cj_->stages.at(0);
+    const std::size_t n = batch.rows();
+    sel_.clear();
+    if (st.sp_has_filter) {
+      BatchVector fv;
+      if (eval_expr_batch(st.sp_filter, batch, fv)) {
+        collect_passing(fv, n, sel_);
+      } else {
+        for (std::size_t k = 0; k < n; ++k)
+          if (is_true(st.sp_filter.eval(batch.source_row(k))))
+            sel_.push_back(static_cast<std::uint32_t>(k));
+      }
+    } else {
+      for (std::size_t k = 0; k < n; ++k)
+        sel_.push_back(static_cast<std::uint32_t>(k));
+    }
+    if (sel_.empty()) return;
+    if (st.sp_projections.empty()) {
+      for (auto k : sel_) out.emit(Row{}, batch.source_row(k));
+      return;
+    }
+    ColumnBatch selected = batch.select(sel_);
+    cols_.resize(st.sp_projections.size());
+    ok_.resize(st.sp_projections.size());
+    for (std::size_t j = 0; j < st.sp_projections.size(); ++j)
+      ok_[j] = eval_expr_batch(st.sp_projections[j], selected, cols_[j]);
+    for (std::size_t r = 0; r < selected.rows(); ++r) {
+      Row value;
+      value.reserve(st.sp_projections.size());
+      for (std::size_t j = 0; j < st.sp_projections.size(); ++j)
+        value.push_back(ok_[j]
+                            ? cols_[j].value_at(r)
+                            : st.sp_projections[j].eval(selected.source_row(r)));
+      out.emit(Row{}, std::move(value));
+    }
+  }
+
  private:
   std::shared_ptr<const CompiledJob> cj_;
+  // Per-batch scratch (a mapper instance serves one map task, serially).
+  std::vector<std::uint32_t> sel_;
+  std::vector<BatchVector> cols_;
+  std::vector<char> ok_;
 };
 
 /// Hash-based map-side partial aggregation (CombineAgg jobs), keyed by
@@ -161,6 +280,72 @@ class CombineAggMapper final : public Mapper {
     }
   }
 
+  bool supports_batches() const override { return true; }
+
+  // Batch version: filter, group-key and aggregate-argument expressions
+  // run as kernels over the (selected) batch; the per-record loop only
+  // builds keys, normalizes them (same one append_norm_key per cell —
+  // kCellsEncoded parity) and feeds the typed aggregate adds. Emission
+  // happens in finish(), so record order is irrelevant here beyond
+  // keep-first min/max tie-breaks, which the typed adds preserve.
+  void map_batch(ColumnBatch& batch, int /*input_tag*/,
+                 MapEmitter& /*out*/) override {
+    const std::size_t n = batch.rows();
+    sel_.clear();
+    if (cj_->combine_has_filter) {
+      BatchVector fv;
+      if (eval_expr_batch(cj_->combine_filter, batch, fv)) {
+        collect_passing(fv, n, sel_);
+      } else {
+        for (std::size_t k = 0; k < n; ++k)
+          if (is_true(cj_->combine_filter.eval(batch.source_row(k))))
+            sel_.push_back(static_cast<std::uint32_t>(k));
+      }
+    } else {
+      for (std::size_t k = 0; k < n; ++k)
+        sel_.push_back(static_cast<std::uint32_t>(k));
+    }
+    if (sel_.empty()) return;
+    ColumnBatch selected = batch.select(sel_);
+    const auto& aggs = cj_->combine_agg->aggs;
+    group_cols_.resize(cj_->combine_group_exprs.size());
+    group_ok_.resize(cj_->combine_group_exprs.size());
+    for (std::size_t j = 0; j < cj_->combine_group_exprs.size(); ++j)
+      group_ok_[j] =
+          eval_expr_batch(cj_->combine_group_exprs[j], selected, group_cols_[j]);
+    arg_cols_.resize(aggs.size());
+    arg_ok_.resize(aggs.size());
+    for (std::size_t i = 0; i < aggs.size(); ++i)
+      arg_ok_[i] = !aggs[i].star && eval_expr_batch(cj_->combine_arg_exprs[i],
+                                                    selected, arg_cols_[i]);
+    for (std::size_t r = 0; r < selected.rows(); ++r) {
+      Row key;
+      key.reserve(cj_->combine_group_exprs.size());
+      for (std::size_t j = 0; j < cj_->combine_group_exprs.size(); ++j)
+        key.push_back(group_ok_[j] ? group_cols_[j].value_at(r)
+                                   : cj_->combine_group_exprs[j].eval(
+                                         selected.source_row(r)));
+      norm_scratch_.clear();
+      for (const auto& v : key) append_norm_key(v, norm_scratch_);
+      auto it = groups_.find(norm_scratch_);
+      if (it == groups_.end()) {
+        Group g;
+        g.key = std::move(key);
+        for (const auto& a : aggs) g.states.emplace_back(a);
+        it = groups_.emplace(norm_scratch_, std::move(g)).first;
+      }
+      for (std::size_t i = 0; i < aggs.size(); ++i) {
+        if (aggs[i].star)
+          it->second.states[i].add(Value{std::int64_t{1}});
+        else if (arg_ok_[i])
+          add_to_agg(it->second.states[i], arg_cols_[i], r);
+        else
+          it->second.states[i].add(
+              cj_->combine_arg_exprs[i].eval(selected.source_row(r)));
+      }
+    }
+  }
+
   void finish(MapEmitter& out) override {
     // Emit in normalized-key byte order — the same order the previous
     // RowLess-sorted map iterated in (memcmp order over the encoding is
@@ -193,6 +378,10 @@ class CombineAggMapper final : public Mapper {
   std::shared_ptr<const CompiledJob> cj_;
   std::unordered_map<std::string, Group> groups_;
   std::string norm_scratch_;
+  // Per-batch scratch (a mapper instance serves one map task, serially).
+  std::vector<std::uint32_t> sel_;
+  std::vector<BatchVector> group_cols_, arg_cols_;
+  std::vector<char> group_ok_, arg_ok_;
 };
 
 // ------------------------------ reducers ------------------------------

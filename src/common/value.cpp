@@ -68,8 +68,6 @@ std::size_t Value::byte_size() const {
   return 1;
 }
 
-namespace {
-
 /// Exact three-way comparison of an int64 against a double — no cast of
 /// the int to double, which would collapse neighbours beyond 2^53 and
 /// break the total order (int 2^53 < int 2^53+1, yet both would "equal"
@@ -87,8 +85,6 @@ std::strong_ordering compare_int_double(std::int64_t i, double d) {
   if (i != f) return i <=> f;
   return d > fl ? std::strong_ordering::less : std::strong_ordering::equal;
 }
-
-}  // namespace
 
 std::strong_ordering Value::compare(const Value& other) const {
   prof::count(prof::kCellCompares);

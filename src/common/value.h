@@ -83,6 +83,14 @@ struct RowHash {
   std::size_t operator()(const Row& r) const;
 };
 
+/// Exact three-way comparison of an int64 against a double — never casts
+/// the int to double (which would collapse neighbours beyond 2^53). NaN
+/// compares "equal" to any numeric, matching Value::compare. Exported so
+/// the vectorized kernels (exec/vector_kernels.cpp) and the typed
+/// aggregate adds reproduce Value::compare bit-for-bit without the
+/// variant dispatch.
+std::strong_ordering compare_int_double(std::int64_t i, double d);
+
 /// Lexicographic comparison of rows under Value::compare.
 std::strong_ordering compare_rows(const Row& a, const Row& b);
 

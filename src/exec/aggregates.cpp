@@ -5,7 +5,16 @@
 
 namespace ysmart {
 
-AggState::AggState(const AggCall& call) : call_(call) {}
+AggState::AggState(const AggCall& call) : call_(call) {
+  if (call_.func == "sum")
+    fn_ = Fn::Sum;
+  else if (call_.func == "avg")
+    fn_ = Fn::Avg;
+  else if (call_.func == "min")
+    fn_ = Fn::Min;
+  else if (call_.func == "max")
+    fn_ = Fn::Max;
+}
 
 void AggState::add(const Value& v) {
   prof::count(prof::kAggUpdates);
@@ -15,18 +24,20 @@ void AggState::add(const Value& v) {
     return;
   }
   ++count_;
-  if (call_.func == "sum" || call_.func == "avg") {
+  if (fn_ == Fn::Sum || fn_ == Fn::Avg) {
     sum_ += v.numeric();
     if (v.type() == ValueType::Int)
       isum_ += v.as_int();
     else
       sum_all_int_ = false;
-  } else if (call_.func == "min") {
+  } else if (fn_ == Fn::Min) {
     if (min_.is_null() || v.compare(min_) < 0) min_ = v;
-  } else if (call_.func == "max") {
+  } else if (fn_ == Fn::Max) {
     if (max_.is_null() || v.compare(max_) > 0) max_ = v;
   }
 }
+
+void AggState::add_null() { add(Value::null()); }
 
 void AggState::merge(const AggState& other) {
   if (call_.distinct) {

@@ -16,6 +16,19 @@ namespace ysmart {
 
 class BoundExpr {
  public:
+  /// The compiled form of one expression node. Public (together with
+  /// root() and eval_node) so the vectorized kernels in
+  /// exec/vector_kernels.h can walk the same compiled tree the scalar
+  /// path interprets — one bind, two execution strategies.
+  struct Node {
+    ExprKind kind{};
+    Value literal;
+    std::size_t col_index = 0;
+    std::string op;
+    bool negated = false;
+    std::vector<Node> args;
+  };
+
   BoundExpr() = default;
 
   /// Binds `expr` against `schema`; throws PlanError for unknown columns.
@@ -27,17 +40,17 @@ class BoundExpr {
 
   const ExprPtr& expr() const { return expr_; }
 
- private:
-  struct Node {
-    ExprKind kind{};
-    Value literal;
-    std::size_t col_index = 0;
-    std::string op;
-    bool negated = false;
-    std::vector<Node> args;
-  };
-  static Node compile(const Expr& e, const Schema& schema);
+  /// Root of the compiled tree; valid() must hold.
+  const Node& root() const { return root_; }
+
+  /// Scalar evaluation of a compiled subtree. Does not count
+  /// kRowsEvaluated — eval() counts exactly once per top-level call, so
+  /// callers comparing kernels against the scalar reference go through
+  /// eval().
   static Value eval_node(const Node& n, const Row& row);
+
+ private:
+  static Node compile(const Expr& e, const Schema& schema);
 
   ExprPtr expr_;
   Node root_;

@@ -1,14 +1,73 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
+#include <span>
 #include <unordered_map>
 
 #include "common/error.h"
 #include "common/prof_counters.h"
 #include "exec/aggregates.h"
+#include "exec/batch.h"
+#include "exec/vector_kernels.h"
 
 namespace ysmart {
+
+namespace {
+
+/// Batched filter+project over one input vector: slice into
+/// ColumnBatch::kBatchRows chunks, run the filter kernel into a selection
+/// vector, then evaluate projections only over the selected sub-batch.
+/// Any non-vectorizable expression falls back to per-row eval for exactly
+/// the rows the batch kernel would have covered, so output and counters
+/// match the row path cell-for-cell.
+void filter_project_batched(const std::vector<Row>& in, const BoundExpr* filter,
+                            const std::vector<BoundExpr>& projections,
+                            std::vector<Row>& out) {
+  const bool have_filter = filter && filter->valid();
+  std::vector<std::uint32_t> sel;
+  std::vector<BatchVector> cols(projections.size());
+  std::vector<char> ok(projections.size());
+  for (std::size_t base = 0; base < in.size();
+       base += ColumnBatch::kBatchRows) {
+    const std::size_t n = std::min(ColumnBatch::kBatchRows, in.size() - base);
+    const std::span<const Row> chunk(in.data() + base, n);
+    ColumnBatch batch(chunk);
+    sel.clear();
+    if (have_filter) {
+      BatchVector fv;
+      if (eval_expr_batch(*filter, batch, fv)) {
+        collect_passing(fv, n, sel);
+      } else {
+        for (std::size_t k = 0; k < n; ++k)
+          if (is_true(filter->eval(chunk[k])))
+            sel.push_back(static_cast<std::uint32_t>(k));
+      }
+    } else {
+      for (std::size_t k = 0; k < n; ++k)
+        sel.push_back(static_cast<std::uint32_t>(k));
+    }
+    if (sel.empty()) continue;
+    if (projections.empty()) {
+      for (auto k : sel) out.push_back(chunk[k]);
+      continue;
+    }
+    ColumnBatch selected = batch.select(sel);
+    for (std::size_t j = 0; j < projections.size(); ++j)
+      ok[j] = eval_expr_batch(projections[j], selected, cols[j]);
+    for (std::size_t k = 0; k < selected.rows(); ++k) {
+      Row p;
+      p.reserve(projections.size());
+      for (std::size_t j = 0; j < projections.size(); ++j)
+        p.push_back(ok[j] ? cols[j].value_at(k)
+                          : projections[j].eval(selected.source_row(k)));
+      out.push_back(std::move(p));
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<Row> filter_project(const std::vector<Row>& in,
                                 const BoundExpr* filter,
@@ -16,6 +75,10 @@ std::vector<Row> filter_project(const std::vector<Row>& in,
   prof::count(prof::kOperatorRows, in.size());
   std::vector<Row> out;
   out.reserve(in.size());
+  if (vectorized_enabled() && !in.empty()) {
+    filter_project_batched(in, filter, projections, out);
+    return out;
+  }
   for (const auto& r : in) {
     if (filter && filter->valid() && !is_true(filter->eval(r))) continue;
     if (projections.empty()) {
@@ -183,10 +246,7 @@ std::vector<Row> aggregate_rows(const PlanNode& agg,
   }
 
   std::map<Row, std::vector<AggState>, RowLess> groups;
-  for (const auto& r : in) {
-    Row key;
-    key.reserve(group_idx.size());
-    for (auto i : group_idx) key.push_back(r.at(i));
+  auto states_of = [&](Row&& key) -> std::vector<AggState>& {
     auto it = groups.find(key);
     if (it == groups.end()) {
       std::vector<AggState> st;
@@ -194,11 +254,103 @@ std::vector<Row> aggregate_rows(const PlanNode& agg,
       for (const auto& a : agg.aggs) st.emplace_back(a);
       it = groups.emplace(std::move(key), std::move(st)).first;
     }
-    for (std::size_t i = 0; i < agg.aggs.size(); ++i) {
-      if (agg.aggs[i].star)
-        it->second[i].add(Value{std::int64_t{1}});
-      else
-        it->second[i].add(agg_args[i].eval(r));
+    return it->second;
+  };
+  // The batched branch accumulates groups in a hash map — the ordered
+  // map's per-row O(log g) full-row comparisons dominate the loop once
+  // argument eval is batched — and moves the entries into the ordered map
+  // afterwards, so downstream iteration order (and output) is unchanged.
+  // RowHash is consistent with compare_rows except for NaN key cells (a
+  // NaN compares "equal" to any numeric but hashes like itself), so an
+  // input with a NaN in a group key takes the row path wholesale; the
+  // pre-scan touches no expression or counter.
+  bool use_vec = vectorized_enabled() && !in.empty();
+  // A single all-int64 group column upgrades further to a plain
+  // int-keyed hash map: no per-row key Row is built at all, and int
+  // equality coincides exactly with RowEq on all-int keys.
+  bool int_keys = use_vec && group_idx.size() == 1;
+  if (use_vec && !group_idx.empty()) {
+    for (const auto& r : in) {
+      for (auto i : group_idx) {
+        const Value& v = r.at(i);
+        const ValueType vt = v.type();
+        if (vt != ValueType::Int) int_keys = false;
+        if (vt == ValueType::Double && std::isnan(v.as_double())) {
+          use_vec = false;
+          break;
+        }
+      }
+      if (!use_vec) break;
+    }
+  }
+  if (use_vec) {
+    // Batched: aggregate arguments are evaluated once per chunk by the
+    // kernels; group keys are raw cells, so the per-row loop only builds
+    // keys and feeds the typed adds. Non-vectorizable arguments fall back
+    // to per-row eval for this chunk.
+    std::unordered_map<Row, std::vector<AggState>, RowHash, RowEq> hgroups;
+    std::unordered_map<std::int64_t, std::vector<AggState>> igroups;
+    auto fresh_states = [&] {
+      std::vector<AggState> st;
+      st.reserve(agg.aggs.size());
+      for (const auto& a : agg.aggs) st.emplace_back(a);
+      return st;
+    };
+    Row key_scratch;
+    std::vector<BatchVector> argv(agg.aggs.size());
+    std::vector<char> vec_ok(agg.aggs.size());
+    for (std::size_t base = 0; base < in.size();
+         base += ColumnBatch::kBatchRows) {
+      const std::size_t n = std::min(ColumnBatch::kBatchRows, in.size() - base);
+      const std::span<const Row> chunk(in.data() + base, n);
+      ColumnBatch batch(chunk);
+      for (std::size_t i = 0; i < agg.aggs.size(); ++i)
+        vec_ok[i] =
+            !agg.aggs[i].star && eval_expr_batch(agg_args[i], batch, argv[i]);
+      const std::int64_t* key_data =
+          int_keys ? batch.column(group_idx[0]).int_data() : nullptr;
+      for (std::size_t k = 0; k < n; ++k) {
+        const Row& r = chunk[k];
+        std::vector<AggState>* states;
+        if (int_keys) {
+          auto [it, inserted] = igroups.try_emplace(key_data[k]);
+          if (inserted) it->second = fresh_states();
+          states = &it->second;
+        } else {
+          key_scratch.clear();
+          for (auto i : group_idx) key_scratch.push_back(r.at(i));
+          auto it = hgroups.find(key_scratch);
+          if (it == hgroups.end())
+            it = hgroups.emplace(key_scratch, fresh_states()).first;
+          states = &it->second;
+        }
+        for (std::size_t i = 0; i < agg.aggs.size(); ++i) {
+          if (agg.aggs[i].star)
+            (*states)[i].add_int(1);
+          else if (vec_ok[i])
+            add_to_agg((*states)[i], argv[i], k);
+          else
+            (*states)[i].add(agg_args[i].eval(r));
+        }
+      }
+    }
+    for (auto& [k, st] : igroups) groups.emplace(Row{Value{k}}, std::move(st));
+    while (!hgroups.empty()) {
+      auto nh = hgroups.extract(hgroups.begin());
+      groups.emplace(std::move(nh.key()), std::move(nh.mapped()));
+    }
+  } else {
+    for (const auto& r : in) {
+      Row key;
+      key.reserve(group_idx.size());
+      for (auto i : group_idx) key.push_back(r.at(i));
+      auto& states = states_of(std::move(key));
+      for (std::size_t i = 0; i < agg.aggs.size(); ++i) {
+        if (agg.aggs[i].star)
+          states[i].add(Value{std::int64_t{1}});
+        else
+          states[i].add(agg_args[i].eval(r));
+      }
     }
   }
   // Global aggregation over empty input still yields one group.
